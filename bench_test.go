@@ -1,0 +1,180 @@
+// Benchmarks: one testing.B entry per paper table/figure (driving the
+// same experiment harness as cmd/rstknn-bench, at a reduced scale so
+// `go test -bench=.` terminates quickly) plus micro-benchmarks of the
+// hot paths. Full-scale tables are produced by `go run ./cmd/rstknn-bench`.
+package rstknn
+
+import (
+	"math/rand"
+	"testing"
+
+	"rstknn/internal/baseline"
+	"rstknn/internal/bench"
+	"rstknn/internal/core"
+	"rstknn/internal/dataset"
+	"rstknn/internal/iurtree"
+	"rstknn/internal/storage"
+	"rstknn/internal/vector"
+)
+
+// benchConfig is the reduced scale used inside testing.B: large enough to
+// exercise multi-level trees, small enough for quick runs.
+func benchConfig() bench.Config {
+	return bench.Config{Scale: 0.05, Queries: 3, Seed: 1}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := bench.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1DatasetStats(b *testing.B)      { runExperiment(b, "T1") }
+func BenchmarkT2IndexConstruction(b *testing.B) { runExperiment(b, "T2") }
+func BenchmarkF1VaryK(b *testing.B)             { runExperiment(b, "F1") }
+func BenchmarkF2PageAccess(b *testing.B)        { runExperiment(b, "F2") }
+func BenchmarkF3VaryAlpha(b *testing.B)         { runExperiment(b, "F3") }
+func BenchmarkF4Scalability(b *testing.B)       { runExperiment(b, "F4") }
+func BenchmarkF5Pruning(b *testing.B)           { runExperiment(b, "F5") }
+func BenchmarkF6Clusters(b *testing.B)          { runExperiment(b, "F6") }
+func BenchmarkF7DocLength(b *testing.B)         { runExperiment(b, "F7") }
+func BenchmarkF8Baselines(b *testing.B)         { runExperiment(b, "F8") }
+func BenchmarkF9Measures(b *testing.B)          { runExperiment(b, "F9") }
+func BenchmarkF10Profiles(b *testing.B)         { runExperiment(b, "F10") }
+func BenchmarkF11Ablation(b *testing.B)         { runExperiment(b, "F11") }
+func BenchmarkF12BufferPool(b *testing.B)       { runExperiment(b, "F12") }
+
+// ------------------------------------------------------------------
+// Micro-benchmarks of the hot paths.
+
+func benchCollection(n int) (*dataset.Collection, []dataset.QueryObject) {
+	col := dataset.Generate(dataset.GN, dataset.Params{N: n, Seed: 42})
+	return col, col.Queries(64, 43)
+}
+
+func benchTree(b *testing.B, n int) (*iurtree.Tree, []dataset.QueryObject) {
+	b.Helper()
+	col, queries := benchCollection(n)
+	tree, err := iurtree.Build(col.Objects, iurtree.Config{Store: storage.NewStore()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree, queries
+}
+
+func BenchmarkIndexBuild5k(b *testing.B) {
+	col, _ := benchCollection(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iurtree.Build(col.Objects, iurtree.Config{Store: storage.NewStore()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSTkNNQuery5k(b *testing.B) {
+	tree, queries := benchTree(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, err := core.RSTkNN(tree, core.Query{Loc: q.Loc, Doc: q.Doc},
+			core.Options{K: 10, Alpha: 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKQuery5k(b *testing.B) {
+	tree, queries := benchTree(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, _, err := core.TopK(tree, core.Query{Loc: q.Loc, Doc: q.Doc},
+			core.TopKOptions{K: 10, Alpha: 0.5, Exclude: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveQuery2k(b *testing.B) {
+	col, queries := benchCollection(2000)
+	tree, err := iurtree.Build(col.Objects, iurtree.Config{Store: storage.NewStore()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, err := baseline.Naive(col.Objects, core.Query{Loc: q.Loc, Doc: q.Doc},
+			10, 0.5, tree.MaxD(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEJExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vecs := make([]vector.Vector, 64)
+	for i := range vecs {
+		m := make(map[vector.TermID]float64)
+		for j := 0; j < 8; j++ {
+			m[vector.TermID(rng.Intn(100))] = rng.Float64() + 0.1
+		}
+		vecs[i] = vector.New(m)
+	}
+	ej := vector.EJ{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ej.Exact(vecs[i%64], vecs[(i+7)%64])
+	}
+}
+
+func BenchmarkEJBounds(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	envs := make([]vector.Envelope, 64)
+	for i := range envs {
+		m1 := make(map[vector.TermID]float64)
+		m2 := make(map[vector.TermID]float64)
+		for j := 0; j < 8; j++ {
+			t := vector.TermID(rng.Intn(100))
+			m1[t] = rng.Float64() * 0.5
+			m2[t] = 0.5 + rng.Float64()
+		}
+		envs[i] = vector.Envelope{Int: vector.New(m1), Uni: vector.New(m2)}
+	}
+	ej := vector.EJ{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ej.Bounds(envs[i%64], envs[(i+9)%64])
+	}
+}
+
+func BenchmarkEngineBuildAndQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	objs := genRestaurants(rng, 2000)
+	eng, err := Build(objs, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(50, 50, "sushi seafood", 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rstknn/internal/dataset"
+	"rstknn/internal/textual"
+)
+
+func TestRunGeneratesLoadableCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "objs.csv")
+	var buf bytes.Buffer
+	err := run([]string{"-profile", "sb", "-n", "200", "-seed", "7", "-o", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote 200 objects") {
+		t.Errorf("missing summary:\n%s", buf.String())
+	}
+	objs, err := dataset.LoadFile(out, textual.NewVocabulary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 200 {
+		t.Errorf("loaded %d objects", len(objs))
+	}
+}
+
+func TestRunGeneratesQueries(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "objs.csv")
+	qout := filepath.Join(dir, "queries.csv")
+	var buf bytes.Buffer
+	err := run([]string{"-profile", "gn", "-n", "100", "-o", out, "-queries", "10", "-qo", qout}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := dataset.LoadFile(qout, textual.NewVocabulary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 10 {
+		t.Errorf("loaded %d queries", len(qs))
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "objs.csv")
+	var buf bytes.Buffer
+	err := run([]string{"-profile", "uniform", "-n", "50", "-o", out,
+		"-vocab", "30", "-max-terms", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := dataset.LoadFile(out, textual.NewVocabulary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if o.Doc.Len() > 3 {
+			t.Fatalf("object %d has %d terms, max-terms 3", o.ID, o.Doc.Len())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "gn", "-n", "10"}, &buf); err == nil {
+		t.Error("missing -o should fail")
+	}
+	if err := run([]string{"-profile", "nope", "-o", "x.csv"}, &buf); err == nil {
+		t.Error("unknown profile should fail")
+	}
+	if err := run([]string{"-profile", "gn", "-n", "10", "-o", filepath.Join(t.TempDir(), "x.csv"),
+		"-queries", "5"}, &buf); err == nil {
+		t.Error("missing -qo with -queries should fail")
+	}
+}

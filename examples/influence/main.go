@@ -1,0 +1,92 @@
+// Influence — the bichromatic extension. Facilities (food trucks) are
+// indexed; users with locations and taste profiles form a second set. A
+// new truck is "influential" for a user when it would rank within the
+// user's top-k most relevant trucks. This is the building block the
+// follow-up MaxBRSTkNN literature optimizes over candidate locations.
+//
+// Run with: go run ./examples/influence
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"rstknn"
+)
+
+var tastes = []string{
+	"coffee", "espresso", "pastries", "bagels", "tacos", "burritos",
+	"ramen", "dumplings", "salads", "smoothies", "bbq", "brisket",
+}
+
+func randomText(rng *rand.Rand, nTerms int) string {
+	var sb strings.Builder
+	for j := 0; j < nTerms; j++ {
+		if j > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(tastes[rng.Intn(len(tastes))])
+	}
+	return sb.String()
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// 800 existing food trucks across downtown (3km x 3km).
+	trucks := make([]rstknn.Object, 800)
+	for i := range trucks {
+		trucks[i] = rstknn.Object{
+			ID:   int32(i),
+			X:    rng.Float64() * 3000,
+			Y:    rng.Float64() * 3000,
+			Text: randomText(rng, 2+rng.Intn(3)),
+		}
+	}
+	eng, err := rstknn.Build(trucks, rstknn.Options{Alpha: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 300 users with home locations and taste profiles.
+	users := make([]rstknn.Object, 300)
+	for i := range users {
+		users[i] = rstknn.Object{
+			ID:   int32(1000 + i),
+			X:    rng.Float64() * 3000,
+			Y:    rng.Float64() * 3000,
+			Text: randomText(rng, 3),
+		}
+	}
+
+	// Compare two launch plans for a new coffee truck.
+	plans := []struct {
+		name string
+		x, y float64
+		menu string
+	}{
+		{"Station plaza", 1500, 1500, "coffee espresso pastries"},
+		{"Riverside park", 200, 2800, "coffee smoothies bagels"},
+	}
+	const k = 5
+	for _, p := range plans {
+		influenced, err := eng.Influence(users, p.x, p.y, p.menu, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s (%4.0f, %4.0f) %q -> top-%d truck for %d of %d users\n",
+			p.name, p.x, p.y, p.menu, k, len(influenced), len(users))
+		if len(influenced) > 0 {
+			fmt.Printf("  e.g. users %v\n", influenced[:min(5, len(influenced))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+// Persistence: build an index once, save it to disk, reopen it in a
+// "second process", and show that queries agree and that the reopened
+// engine reads its nodes from the on-disk store (simulated page I/O).
+//
+// Run with: go run ./examples/persistence
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rstknn"
+)
+
+var stock = []string{
+	"coffee", "beans", "roastery", "espresso", "brunch", "bakery",
+	"croissant", "books", "vinyl", "records", "plants", "flowers",
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	shops := make([]rstknn.Object, 1500)
+	for i := range shops {
+		var sb strings.Builder
+		for j := 0; j < 2+rng.Intn(3); j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(stock[rng.Intn(len(stock))])
+		}
+		shops[i] = rstknn.Object{
+			ID:   int32(i),
+			X:    rng.Float64() * 500,
+			Y:    rng.Float64() * 500,
+			Text: sb.String(),
+		}
+	}
+
+	eng, err := rstknn.Build(shops, rstknn.Options{Index: rstknn.CIUR, Clusters: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := filepath.Join(os.TempDir(), "rstknn-example-index")
+	defer os.RemoveAll(dir)
+	if err := eng.Save(dir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved index to %s\n", dir)
+	for _, name := range []string{"meta.json", "vocab.csv", "objects.csv", "index.log"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %7d bytes\n", name, fi.Size())
+	}
+
+	// "Another process": reopen from disk.
+	re, err := rstknn.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer re.Close()
+
+	const k = 5
+	a, err := eng.Query(250, 250, "coffee espresso", k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := re.Query(250, 250, "coffee espresso", k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreverse top-%d query on both engines:\n", k)
+	fmt.Printf("  in-memory: %d results, %d page accesses\n", len(a.IDs), a.Stats.PageAccesses)
+	fmt.Printf("  reopened:  %d results, %d page accesses (from index.log)\n", len(b.IDs), b.Stats.PageAccesses)
+	if fmt.Sprint(a.IDs) != fmt.Sprint(b.IDs) {
+		log.Fatal("engines disagree!")
+	}
+	fmt.Println("  identical result sets ✓")
+}

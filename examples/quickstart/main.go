@@ -1,0 +1,59 @@
+// Quickstart: build an RSTkNN engine over a handful of restaurants and
+// ask the reverse question — "if I open a new place here with this menu,
+// which existing restaurants would see it among their top-k most similar
+// competitors?"
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rstknn"
+)
+
+func main() {
+	restaurants := []rstknn.Object{
+		{ID: 1, X: 2, Y: 3, Text: "sushi seafood sashimi"},
+		{ID: 2, X: 3, Y: 2, Text: "sushi bar cocktails"},
+		{ID: 3, X: 8, Y: 8, Text: "noodles ramen broth"},
+		{ID: 4, X: 9, Y: 7, Text: "ramen izakaya sake"},
+		{ID: 5, X: 5, Y: 5, Text: "pizza pasta espresso"},
+		{ID: 6, X: 1, Y: 9, Text: "seafood grill oysters"},
+	}
+
+	eng, err := rstknn.Build(restaurants, rstknn.Options{Alpha: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("indexed %d objects (height %d, %d pages, vocab %d)\n\n",
+		st.Objects, st.Height, st.Pages, st.VocabSize)
+
+	// A new sushi place at (3, 3): whose top-2 competitor list would it
+	// enter?
+	res, err := eng.Query(3, 3, "sushi seafood", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("a new 'sushi seafood' spot at (3,3) would be a top-2 competitor of %d restaurants:\n", len(res.IDs))
+	for _, id := range res.IDs {
+		x, y, _, _ := eng.ObjectByID(id)
+		fmt.Printf("  restaurant %d at (%g, %g)\n", id, x, y)
+	}
+
+	// The forward question for comparison: which existing places are most
+	// similar to the prospective one?
+	nbs, err := eng.TopK(3, 3, "sushi seafood", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmost similar existing restaurants (top-3):")
+	for i, nb := range nbs {
+		fmt.Printf("  %d. restaurant %d (similarity %.3f)\n", i+1, nb.ID, nb.Similarity)
+	}
+
+	fmt.Printf("\nquery cost: %d node reads, %d page accesses, %d exact similarity computations\n",
+		res.Stats.NodesRead, res.Stats.PageAccesses, res.Stats.ExactSims)
+}

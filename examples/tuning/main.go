@@ -1,0 +1,113 @@
+// Tuning — an index-selection study on one workload. Builds every index
+// variant (IUR, CIUR at several cluster counts, O-CIUR, E-CIUR) over the
+// same collection, replays the same query set against each, and reports
+// cost side by side — how a downstream user would pick a configuration.
+//
+// Run with: go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+
+	"rstknn"
+)
+
+var themes = [][]string{
+	{"hotel", "rooms", "suite", "breakfast", "spa"},
+	{"museum", "gallery", "exhibits", "art", "history"},
+	{"park", "trails", "playground", "picnic", "garden"},
+	{"cinema", "movies", "screen", "popcorn", "imax"},
+	{"market", "produce", "organic", "bakery", "cheese"},
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	objects := make([]rstknn.Object, 4000)
+	for i := range objects {
+		theme := themes[rng.Intn(len(themes))]
+		var sb strings.Builder
+		for j := 0; j < 2+rng.Intn(4); j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(theme[rng.Intn(len(theme))])
+		}
+		objects[i] = rstknn.Object{
+			ID:   int32(i),
+			X:    rng.Float64() * 1000,
+			Y:    rng.Float64() * 1000,
+			Text: sb.String(),
+		}
+	}
+
+	type variant struct {
+		name string
+		opt  rstknn.Options
+	}
+	variants := []variant{
+		{"IUR", rstknn.Options{}},
+		{"CIUR-4", rstknn.Options{Index: rstknn.CIUR, Clusters: 4}},
+		{"CIUR-16", rstknn.Options{Index: rstknn.CIUR, Clusters: 16}},
+		{"O-CIUR-16", rstknn.Options{Index: rstknn.CIUR, Clusters: 16, OutlierThreshold: 0.15}},
+		{"E-CIUR-16", rstknn.Options{Index: rstknn.CIUR, Clusters: 16, EntropyRefinement: true}},
+	}
+
+	// A fixed query workload.
+	type query struct {
+		x, y float64
+		text string
+		k    int
+	}
+	queries := make([]query, 15)
+	for i := range queries {
+		theme := themes[rng.Intn(len(themes))]
+		queries[i] = query{
+			x: rng.Float64() * 1000, y: rng.Float64() * 1000,
+			text: theme[rng.Intn(len(theme))] + " " + theme[rng.Intn(len(theme))],
+			k:    10,
+		}
+	}
+
+	tw := tabwriter.NewWriter(log.Writer(), 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\tbuild\tindex MiB\tmean pages/q\tmean sims/q\tmean |result|")
+	var referenceResults []int
+	for _, v := range variants {
+		eng, err := rstknn.Build(objects, v.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := eng.Stats()
+		var pages, sims, results float64
+		var sizes []int
+		for _, q := range queries {
+			res, err := eng.Query(q.x, q.y, q.text, q.k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pages += float64(res.Stats.PageAccesses)
+			sims += float64(res.Stats.ExactSims)
+			results += float64(len(res.IDs))
+			sizes = append(sizes, len(res.IDs))
+		}
+		// All variants must agree on every result set.
+		if referenceResults == nil {
+			referenceResults = sizes
+		} else {
+			for i := range sizes {
+				if sizes[i] != referenceResults[i] {
+					log.Fatalf("%s disagrees with reference on query %d", v.name, i)
+				}
+			}
+		}
+		n := float64(len(queries))
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.1f\t%.1f\t%.1f\n",
+			v.name, st.BuildTime.Round(1e6), float64(st.Bytes)/(1<<20),
+			pages/n, sims/n, results/n)
+	}
+	tw.Flush()
+	fmt.Println("\nall variants returned identical result sets across the workload ✓")
+}

@@ -1,0 +1,3 @@
+module rstknn
+
+go 1.22

@@ -1,0 +1,145 @@
+// Package baseline provides the two reference methods the RSTkNN paper
+// compares its branch-and-bound search against:
+//
+//   - Naive: exhaustive scan computing, per query, every object's k-th NN
+//     similarity from scratch (O(n^2) similarity computations). It is the
+//     correctness oracle for every integration test in this repository.
+//   - Precompute: materialize every object's k-th NN similarity once
+//     (using the spatial-textual top-k search over the tree), then answer
+//     reverse queries by a filter pass. Queries are cheap, but the
+//     structure is welded to one (k, alpha, measure) triple and must be
+//     rebuilt whenever the data or parameters change — the paper's
+//     argument for an index-time-free algorithm.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rstknn/internal/core"
+	"rstknn/internal/iurtree"
+	"rstknn/internal/vector"
+)
+
+// Naive answers an RSTkNN query by exhaustive computation. maxD must be
+// the same normalization distance the tree-based search uses (the
+// dataspace diagonal) so results agree exactly. The result IDs are sorted
+// ascending.
+func Naive(objs []iurtree.Object, q core.Query, k int, alpha, maxD float64, sim vector.TextSim) ([]int32, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("baseline: K must be positive, got %d", k)
+	}
+	sc := core.NewScorer(alpha, maxD, sim)
+	var out []int32
+	sims := make([]float64, 0, len(objs))
+	for i := range objs {
+		o := &objs[i]
+		kth := kthSimilarity(sc, objs, i, k, &sims)
+		if sc.Exact(o.Loc, o.Doc, q.Loc, q.Doc) >= kth {
+			out = append(out, o.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// KthSimilarities returns every object's k-th NN similarity (aligned with
+// objs), computed exhaustively. Exposed for tests that validate the
+// tree-based bound machinery.
+func KthSimilarities(objs []iurtree.Object, k int, alpha, maxD float64, sim vector.TextSim) []float64 {
+	sc := core.NewScorer(alpha, maxD, sim)
+	out := make([]float64, len(objs))
+	sims := make([]float64, 0, len(objs))
+	for i := range objs {
+		out[i] = kthSimilarity(sc, objs, i, k, &sims)
+	}
+	return out
+}
+
+// kthSimilarity computes the k-th largest similarity between objs[i] and
+// every other object, or -Inf when fewer than k others exist. The scratch
+// slice is reused across calls.
+func kthSimilarity(sc *core.Scorer, objs []iurtree.Object, i, k int, scratch *[]float64) float64 {
+	if len(objs)-1 < k {
+		return negInf
+	}
+	sims := (*scratch)[:0]
+	o := &objs[i]
+	for j := range objs {
+		if j == i {
+			continue
+		}
+		x := &objs[j]
+		sims = append(sims, sc.Exact(o.Loc, o.Doc, x.Loc, x.Doc))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(sims)))
+	*scratch = sims
+	return sims[k-1]
+}
+
+var negInf = math.Inf(-1)
+
+// Precompute is the precomputation baseline: per-object k-th NN
+// similarity thresholds materialized against a sealed tree.
+type Precompute struct {
+	k     int
+	alpha float64
+	maxD  float64
+	sim   vector.TextSim
+	objs  []iurtree.Object
+	// Thresholds[i] is the k-th NN similarity of objs[i].
+	Thresholds []float64
+	// BuildMetrics accumulates the work done materializing thresholds.
+	BuildMetrics core.Metrics
+}
+
+// BuildPrecompute computes every object's threshold using the
+// spatial-textual top-k search over the tree. The cost of this pass —
+// |D| top-k searches — is exactly the paper's motivation for avoiding
+// precomputation.
+func BuildPrecompute(t *iurtree.Tree, objs []iurtree.Object, k int, alpha float64, sim vector.TextSim) (*Precompute, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("baseline: K must be positive, got %d", k)
+	}
+	p := &Precompute{
+		k:          k,
+		alpha:      alpha,
+		maxD:       t.MaxD(),
+		sim:        sim,
+		objs:       objs,
+		Thresholds: make([]float64, len(objs)),
+	}
+	for i := range objs {
+		o := &objs[i]
+		kth, m, err := core.KthSimilarity(t, core.Query{Loc: o.Loc, Doc: o.Doc}, core.TopKOptions{
+			K: k, Alpha: alpha, Sim: sim, Exclude: o.ID,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.Thresholds[i] = kth
+		p.BuildMetrics.NodesRead += m.NodesRead
+		p.BuildMetrics.ExactSims += m.ExactSims
+		p.BuildMetrics.BoundEvals += m.BoundEvals
+	}
+	return p, nil
+}
+
+// K returns the rank the thresholds were built for.
+func (p *Precompute) K() int { return p.k }
+
+// Query answers an RSTkNN query by filtering against the materialized
+// thresholds: one similarity evaluation per object.
+func (p *Precompute) Query(q core.Query) []int32 {
+	sc := core.NewScorer(p.alpha, p.maxD, p.sim)
+	var out []int32
+	for i := range p.objs {
+		o := &p.objs[i]
+		if sc.Exact(o.Loc, o.Doc, q.Loc, q.Doc) >= p.Thresholds[i] {
+			out = append(out, o.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

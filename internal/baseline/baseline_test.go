@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rstknn/internal/core"
+	"rstknn/internal/geom"
+	"rstknn/internal/iurtree"
+	"rstknn/internal/storage"
+	"rstknn/internal/vector"
+)
+
+func genObjects(rng *rand.Rand, n int) []iurtree.Object {
+	objs := make([]iurtree.Object, n)
+	for i := range objs {
+		m := make(map[vector.TermID]float64)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			m[vector.TermID(rng.Intn(25))] = 0.5 + rng.Float64()*2
+		}
+		objs[i] = iurtree.Object{
+			ID:  int32(i),
+			Loc: geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+			Doc: vector.New(m),
+		}
+	}
+	return objs
+}
+
+func genQuery(rng *rand.Rand) core.Query {
+	m := make(map[vector.TermID]float64)
+	for j := 0; j < 3; j++ {
+		m[vector.TermID(rng.Intn(25))] = 0.5 + rng.Float64()*2
+	}
+	return core.Query{
+		Loc: geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+		Doc: vector.New(m),
+	}
+}
+
+func TestNaiveHandConstructed(t *testing.T) {
+	// Three collinear objects with identical docs: ranking is purely
+	// spatial. maxD = 10.
+	doc := vector.New(map[vector.TermID]float64{1: 1})
+	objs := []iurtree.Object{
+		{ID: 0, Loc: geom.Point{X: 0, Y: 0}, Doc: doc},
+		{ID: 1, Loc: geom.Point{X: 5, Y: 0}, Doc: doc},
+		{ID: 2, Loc: geom.Point{X: 10, Y: 0}, Doc: doc},
+	}
+	// Query at x=1 with the same doc, alpha=1 (pure spatial), k=1.
+	// 1-NN of 0 is 1 (dist 5); sim(0,q)=1-1/10=0.9 > sim(0,1)=0.5: hit.
+	// 1-NN of 1 is 0 or 2 (dist 5, sim 0.5); sim(1,q)=1-4/10=0.6: hit.
+	// 1-NN of 2 is 1 (dist 5, sim 0.5); sim(2,q)=1-9/10=0.1 < 0.5: miss.
+	q := core.Query{Loc: geom.Point{X: 1, Y: 0}, Doc: doc}
+	got, err := Naive(objs, q, 1, 1, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Naive = %v, want [0 1]", got)
+	}
+}
+
+func TestNaiveKValidation(t *testing.T) {
+	if _, err := Naive(nil, core.Query{}, 0, 0.5, 1, nil); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestNaiveFewerThanKReportsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	objs := genObjects(rng, 4)
+	got, err := Naive(objs, genQuery(rng), 10, 0.5, 150, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Errorf("all objects lack a 10th NN; got %d results", len(got))
+	}
+}
+
+func TestKthSimilaritiesMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	objs := genObjects(rng, 60)
+	k1 := KthSimilarities(objs, 1, 0.5, 150, nil)
+	k5 := KthSimilarities(objs, 5, 0.5, 150, nil)
+	for i := range objs {
+		if k5[i] > k1[i] {
+			t.Fatalf("object %d: 5th NN sim %g exceeds 1st NN sim %g", i, k5[i], k1[i])
+		}
+	}
+}
+
+func TestPrecomputeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	objs := genObjects(rng, 250)
+	tree, err := iurtree.Build(objs, iurtree.Config{Store: storage.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 7} {
+		p, err := BuildPrecompute(tree, objs, k, 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.K() != k {
+			t.Errorf("K() = %d", p.K())
+		}
+		if p.BuildMetrics.NodesRead == 0 {
+			t.Error("build metrics should record work")
+		}
+		for trial := 0; trial < 10; trial++ {
+			q := genQuery(rng)
+			want, err := Naive(objs, q, k, 0.5, tree.MaxD(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := p.Query(q)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d trial %d: %d results, want %d", k, trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d trial %d: mismatch at %d", k, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPrecomputeThresholdsMatchExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	objs := genObjects(rng, 120)
+	tree, err := iurtree.Build(objs, iurtree.Config{Store: storage.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPrecompute(tree, objs, 4, 0.3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := KthSimilarities(objs, 4, 0.3, tree.MaxD(), nil)
+	for i := range objs {
+		if math.Abs(p.Thresholds[i]-want[i]) > 0 {
+			t.Fatalf("object %d: precompute threshold %g != exhaustive %g",
+				i, p.Thresholds[i], want[i])
+		}
+	}
+}
+
+func TestBuildPrecomputeValidation(t *testing.T) {
+	tree, err := iurtree.Build(nil, iurtree.Config{Store: storage.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildPrecompute(tree, nil, 0, 0.5, nil); err == nil {
+		t.Error("k=0 should fail")
+	}
+}

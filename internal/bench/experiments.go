@@ -1,0 +1,398 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rstknn/internal/baseline"
+	"rstknn/internal/core"
+	"rstknn/internal/dataset"
+	"rstknn/internal/iurtree"
+	"rstknn/internal/vector"
+)
+
+// RunT1DatasetStats prints the dataset statistics table (paper Table:
+// dataset properties) for the GN- and SB-profile collections at the run's
+// scale.
+func RunT1DatasetStats(cfg Config) error {
+	cfg = cfg.withDefaults()
+	t := newTable("T1: dataset statistics (synthetic, paper-shaped)",
+		"dataset", "objects", "unique terms", "total terms", "avg terms/obj")
+	for _, p := range []dataset.Profile{dataset.GN, dataset.SB} {
+		n := defaultN
+		if p == dataset.SB {
+			n = defaultN / 4 // SB-style collections are smaller, docs longer
+		}
+		col := dataset.Generate(p, dataset.Params{N: cfg.scaled(n), Seed: cfg.Seed})
+		st := col.ComputeStats()
+		t.add(p.String(),
+			fmt.Sprint(st.Objects),
+			fmt.Sprint(st.UniqueTerms),
+			fmt.Sprint(st.TotalTerms),
+			f2(st.AvgTermsPerObj))
+	}
+	t.render(cfg.Out)
+	return nil
+}
+
+// RunT2IndexConstruction prints index build time and size for every tree
+// variant (paper Table: index construction cost).
+func RunT2IndexConstruction(cfg Config) error {
+	cfg = cfg.withDefaults()
+	col, _ := fixture(cfg, defaultN)
+	methods, err := buildMethods(col.Objects, treeMethods, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	t := newTable(fmt.Sprintf("T2: index construction (|D|=%d)", len(col.Objects)),
+		"index", "build time", "nodes", "pages", "MiB")
+	for _, m := range methods {
+		store := m.tree.Store()
+		t.add(m.name,
+			m.build.Round(time.Millisecond).String(),
+			fmt.Sprint(store.Len()),
+			fmt.Sprint(store.TotalPages()),
+			f2(float64(store.TotalBytes())/(1<<20)))
+	}
+	t.render(cfg.Out)
+	return nil
+}
+
+// sweep runs every tree method over the query workload for each value of
+// a swept parameter and returns measurements[methodIdx][valueIdx].
+func sweep[T any](methods []builtMethod, queries []dataset.QueryObject, values []T,
+	run func(bm *builtMethod, v T) (measurement, error)) ([][]measurement, error) {
+	out := make([][]measurement, len(methods))
+	for i := range methods {
+		out[i] = make([]measurement, len(values))
+		for j, v := range values {
+			m, err := run(&methods[i], v)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = m
+		}
+	}
+	_ = queries
+	return out, nil
+}
+
+// RunF1VaryK prints mean query time against k for every tree method
+// (paper Figure: response time vs k).
+func RunF1VaryK(cfg Config) error {
+	return runKSweep(cfg, "F1: mean query time (ms) vs k",
+		func(m measurement) string { return ms(m.Time) })
+}
+
+// RunF2PageAccess prints mean simulated page accesses against k (paper
+// Figure: page accesses vs k).
+func RunF2PageAccess(cfg Config) error {
+	return runKSweep(cfg, "F2: mean page accesses vs k",
+		func(m measurement) string { return f1(m.Pages) })
+}
+
+func runKSweep(cfg Config, title string, cell func(measurement) string) error {
+	cfg = cfg.withDefaults()
+	col, queries := fixture(cfg, defaultN)
+	methods, err := buildMethods(col.Objects, treeMethods, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	ks := []int{1, 5, 10, 15, 20}
+	res, err := sweep(methods, queries, ks, func(bm *builtMethod, k int) (measurement, error) {
+		return bm.runQueries(queries, k, defaultAlpha, nil)
+	})
+	if err != nil {
+		return err
+	}
+	headers := []string{"method"}
+	for _, k := range ks {
+		headers = append(headers, fmt.Sprintf("k=%d", k))
+	}
+	t := newTable(fmt.Sprintf("%s (|D|=%d, alpha=%g)", title, len(col.Objects), defaultAlpha), headers...)
+	for i, m := range methods {
+		row := []string{m.name}
+		for j := range ks {
+			row = append(row, cell(res[i][j]))
+		}
+		t.add(row...)
+	}
+	t.render(cfg.Out)
+	return nil
+}
+
+// RunF3VaryAlpha prints mean query time against alpha (paper Figure:
+// effect of the spatial/textual preference parameter).
+func RunF3VaryAlpha(cfg Config) error {
+	cfg = cfg.withDefaults()
+	col, queries := fixture(cfg, defaultN)
+	methods, err := buildMethods(col.Objects, treeMethods, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	alphas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	res, err := sweep(methods, queries, alphas, func(bm *builtMethod, a float64) (measurement, error) {
+		return bm.runQueries(queries, defaultK, a, nil)
+	})
+	if err != nil {
+		return err
+	}
+	headers := []string{"method"}
+	for _, a := range alphas {
+		headers = append(headers, fmt.Sprintf("a=%g", a))
+	}
+	t := newTable(fmt.Sprintf("F3: mean query time (ms) vs alpha (|D|=%d, k=%d)", len(col.Objects), defaultK), headers...)
+	for i, m := range methods {
+		row := []string{m.name}
+		for j := range alphas {
+			row = append(row, ms(res[i][j].Time))
+		}
+		t.add(row...)
+	}
+	t.render(cfg.Out)
+	return nil
+}
+
+// RunF4Scalability prints query cost against dataset cardinality (paper
+// Figure: scalability).
+func RunF4Scalability(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sizes := []int{defaultN / 2, defaultN, defaultN * 2, defaultN * 4}
+	headers := []string{"method"}
+	for _, n := range sizes {
+		headers = append(headers, fmt.Sprint(cfg.scaled(n)))
+	}
+	tTime := newTable(fmt.Sprintf("F4a: mean query time (ms) vs |D| (k=%d, alpha=%g)", defaultK, defaultAlpha), headers...)
+	tPages := newTable("F4b: mean page accesses vs |D|", headers...)
+	rows := map[string][]string{}
+	pageRows := map[string][]string{}
+	var order []string
+	for _, n := range sizes {
+		col := dataset.Generate(cfg.Profile, dataset.Params{N: cfg.scaled(n), Seed: cfg.Seed})
+		queries := col.Queries(cfg.Queries, cfg.Seed+1)
+		methods, err := buildMethods(col.Objects, []method{treeMethods[0], treeMethods[1]}, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		for i := range methods {
+			m, err := methods[i].runQueries(queries, defaultK, defaultAlpha, nil)
+			if err != nil {
+				return err
+			}
+			name := methods[i].name
+			if _, ok := rows[name]; !ok {
+				order = append(order, name)
+			}
+			rows[name] = append(rows[name], ms(m.Time))
+			pageRows[name] = append(pageRows[name], f1(m.Pages))
+		}
+	}
+	for _, name := range order {
+		tTime.add(append([]string{name}, rows[name]...)...)
+		tPages.add(append([]string{name}, pageRows[name]...)...)
+	}
+	tTime.render(cfg.Out)
+	tPages.render(cfg.Out)
+	return nil
+}
+
+// RunF5Pruning prints the pruning effectiveness metrics (paper Figure:
+// fraction of objects decided at node granularity, similarity
+// computations per query).
+func RunF5Pruning(cfg Config) error {
+	cfg = cfg.withDefaults()
+	col, queries := fixture(cfg, defaultN)
+	methods, err := buildMethods(col.Objects, treeMethods, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	ks := []int{1, 5, 10, 15, 20}
+	t := newTable(fmt.Sprintf("F5: pruning effectiveness (|D|=%d, alpha=%g)", len(col.Objects), defaultAlpha),
+		"method", "k", "group-decided", "candidates", "exact sims", "bound evals", "refines")
+	for i := range methods {
+		for _, k := range ks {
+			m, err := methods[i].runQueries(queries, k, defaultAlpha, nil)
+			if err != nil {
+				return err
+			}
+			t.add(methods[i].name, fmt.Sprint(k), pct(m.GroupFrac),
+				f1(m.Candidates), f1(m.Sims), f1(m.Bounds), f1(m.Refines))
+		}
+	}
+	t.render(cfg.Out)
+	return nil
+}
+
+// RunF6Clusters prints CIUR query cost against the cluster count (paper
+// Figure: effect of the number of clusters).
+func RunF6Clusters(cfg Config) error {
+	cfg = cfg.withDefaults()
+	col, queries := fixture(cfg, defaultN)
+	counts := []int{4, 8, 16, 32, 64}
+	t := newTable(fmt.Sprintf("F6: CIUR cost vs cluster count (|D|=%d, k=%d)", len(col.Objects), defaultK),
+		"clusters", "time (ms)", "pages", "index MiB")
+	for _, c := range counts {
+		methods, err := buildMethods(col.Objects, []method{{name: "CIUR", clusters: c}}, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		m, err := methods[0].runQueries(queries, defaultK, defaultAlpha, nil)
+		if err != nil {
+			return err
+		}
+		t.add(fmt.Sprint(c), ms(m.Time), f1(m.Pages),
+			f2(float64(methods[0].tree.Store().TotalBytes())/(1<<20)))
+	}
+	t.render(cfg.Out)
+	return nil
+}
+
+// RunF7DocLength prints query cost against document length (paper Figure:
+// effect of the number of terms per object).
+func RunF7DocLength(cfg Config) error {
+	cfg = cfg.withDefaults()
+	lengths := []int{2, 4, 8, 16, 32}
+	t := newTable(fmt.Sprintf("F7: cost vs terms/object (k=%d, alpha=%g)", defaultK, defaultAlpha),
+		"max terms", "IUR time (ms)", "IUR pages", "CIUR time (ms)", "CIUR pages")
+	for _, L := range lengths {
+		col := dataset.Generate(cfg.Profile, dataset.Params{
+			N: cfg.scaled(defaultN / 2), Seed: cfg.Seed,
+			MinTerms: 1, MaxTerms: L,
+		})
+		queries := col.Queries(cfg.Queries, cfg.Seed+1)
+		methods, err := buildMethods(col.Objects, []method{treeMethods[0], treeMethods[1]}, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		iur, err := methods[0].runQueries(queries, defaultK, defaultAlpha, nil)
+		if err != nil {
+			return err
+		}
+		ciur, err := methods[1].runQueries(queries, defaultK, defaultAlpha, nil)
+		if err != nil {
+			return err
+		}
+		t.add(fmt.Sprint(L), ms(iur.Time), f1(iur.Pages), ms(ciur.Time), f1(ciur.Pages))
+	}
+	t.render(cfg.Out)
+	return nil
+}
+
+// RunF8Baselines compares the exhaustive and precomputation baselines
+// with the branch-and-bound methods on small cardinalities where the
+// baselines remain feasible (paper Figure: comparison with baselines).
+func RunF8Baselines(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sizes := []int{500, 1000, 2000, 4000}
+	t := newTable(fmt.Sprintf("F8: baselines vs branch-and-bound, mean query time (ms) (k=%d, alpha=%g)", defaultK, defaultAlpha),
+		"|D|", "B (naive)", "P (precomp query)", "P (build, total ms)", "IUR", "CIUR")
+	for _, n := range sizes {
+		col := dataset.Generate(cfg.Profile, dataset.Params{N: cfg.scaled(n), Seed: cfg.Seed})
+		queries := col.Queries(cfg.Queries, cfg.Seed+1)
+		methods, err := buildMethods(col.Objects, []method{treeMethods[0], treeMethods[1]}, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		maxD := methods[0].tree.MaxD()
+
+		// B: per-query exhaustive scan.
+		start := time.Now()
+		for _, q := range queries {
+			if _, err := baseline.Naive(col.Objects, core.Query{Loc: q.Loc, Doc: q.Doc},
+				defaultK, defaultAlpha, maxD, nil); err != nil {
+				return err
+			}
+		}
+		naivePer := time.Duration(int64(time.Since(start)) / int64(len(queries)))
+
+		// P: precompute once, then filter per query.
+		start = time.Now()
+		pre, err := baseline.BuildPrecompute(methods[0].tree, col.Objects, defaultK, defaultAlpha, nil)
+		if err != nil {
+			return err
+		}
+		preBuild := time.Since(start)
+		start = time.Now()
+		for _, q := range queries {
+			pre.Query(core.Query{Loc: q.Loc, Doc: q.Doc})
+		}
+		prePer := time.Duration(int64(time.Since(start)) / int64(len(queries)))
+
+		iur, err := methods[0].runQueries(queries, defaultK, defaultAlpha, nil)
+		if err != nil {
+			return err
+		}
+		ciur, err := methods[1].runQueries(queries, defaultK, defaultAlpha, nil)
+		if err != nil {
+			return err
+		}
+		t.add(fmt.Sprint(len(col.Objects)), ms(naivePer), ms(prePer),
+			ms(preBuild), ms(iur.Time), ms(ciur.Time))
+	}
+	t.render(cfg.Out)
+	return nil
+}
+
+// RunF9Measures compares the three text relevance measures the paper
+// discusses: Extended Jaccard over weighted terms, cosine, and keyword
+// overlap (Extended Jaccard over binary weights).
+func RunF9Measures(cfg Config) error {
+	cfg = cfg.withDefaults()
+	col, queries := fixture(cfg, defaultN/2)
+	measures := []struct {
+		name   string
+		sim    vector.TextSim
+		binary bool
+	}{
+		{"EJ (weighted)", vector.EJ{}, false},
+		{"cosine", vector.Cosine{}, false},
+		{"keyword overlap", vector.EJ{}, true},
+	}
+	t := newTable(fmt.Sprintf("F9: text measures (|D|=%d, k=%d, alpha=%g)", len(col.Objects), defaultK, defaultAlpha),
+		"measure", "IUR time (ms)", "pages", "mean |result|")
+	for _, ms3 := range measures {
+		objs := col.Objects
+		qs := queries
+		if ms3.binary {
+			objs = binarize(col.Objects)
+			qs = binarizeQueries(queries)
+		}
+		methods, err := buildMethods(objs, []method{{name: "IUR"}}, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		m, err := methods[0].runQueries(qs, defaultK, defaultAlpha, ms3.sim)
+		if err != nil {
+			return err
+		}
+		t.add(ms3.name, ms(m.Time), f1(m.Pages), f1(m.Results))
+	}
+	t.render(cfg.Out)
+	return nil
+}
+
+// binarize maps every document to binary weights (keyword-overlap
+// semantics).
+func binarize(objs []iurtree.Object) []iurtree.Object {
+	out := make([]iurtree.Object, len(objs))
+	for i, o := range objs {
+		out[i] = iurtree.Object{ID: o.ID, Loc: o.Loc, Doc: binaryVector(o.Doc)}
+	}
+	return out
+}
+
+func binarizeQueries(qs []dataset.QueryObject) []dataset.QueryObject {
+	out := make([]dataset.QueryObject, len(qs))
+	for i, q := range qs {
+		out[i] = dataset.QueryObject{Loc: q.Loc, Doc: binaryVector(q.Doc)}
+	}
+	return out
+}
+
+func binaryVector(v vector.Vector) vector.Vector {
+	m := make(map[vector.TermID]float64, v.Len())
+	for i := 0; i < v.Len(); i++ {
+		m[v.Term(i)] = 1
+	}
+	return vector.New(m)
+}

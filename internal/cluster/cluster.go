@@ -1,0 +1,233 @@
+// Package cluster groups objects by textual content for the CIUR-tree
+// (cluster-enhanced IUR-tree) of the RSTkNN paper. It implements spherical
+// k-means over sparse term vectors with k-means++ seeding, the paper's
+// outlier detection-and-extraction optimization (objects textually far
+// from every centroid are pulled into a dedicated outlier cluster so they
+// do not inflate the envelopes of coherent clusters), and the textual
+// entropy measure used to prioritize refinement of textually mixed nodes.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"rstknn/internal/vector"
+)
+
+// Config controls clustering.
+type Config struct {
+	// K is the number of regular clusters. Values < 1 are treated as 1.
+	K int
+	// MaxIter bounds the number of Lloyd iterations (default 20).
+	MaxIter int
+	// Seed makes the run deterministic.
+	Seed int64
+	// OutlierThreshold, when positive, extracts every object whose cosine
+	// similarity to its assigned centroid is below the threshold into a
+	// dedicated outlier cluster (the paper's O-CIUR optimization).
+	OutlierThreshold float64
+}
+
+// Assignment is the result of clustering n objects.
+type Assignment struct {
+	// Clusters is the total number of cluster IDs in use, including the
+	// outlier cluster when extraction ran.
+	Clusters int
+	// Of maps object index -> cluster ID in [0, Clusters).
+	Of []int
+	// Centroids holds the (L2-normalized) centroid of each regular
+	// cluster; the outlier cluster, if present, has a zero centroid.
+	Centroids []vector.Vector
+	// Outlier is the ID of the outlier cluster, or -1 when extraction was
+	// disabled or extracted nothing.
+	Outlier int
+}
+
+// Sizes returns the number of objects per cluster.
+func (a *Assignment) Sizes() []int {
+	sizes := make([]int, a.Clusters)
+	for _, c := range a.Of {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// Run clusters the given document vectors. Empty vectors are assigned to
+// cluster 0 (they have zero similarity to every centroid). The result
+// always has at least one cluster, even for empty input.
+func Run(docs []vector.Vector, cfg Config) *Assignment {
+	k := cfg.K
+	if k < 1 {
+		k = 1
+	}
+	if k > len(docs) && len(docs) > 0 {
+		k = len(docs)
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	a := &Assignment{
+		Clusters: k,
+		Of:       make([]int, len(docs)),
+		Outlier:  -1,
+	}
+	if len(docs) == 0 {
+		a.Centroids = []vector.Vector{{}}
+		a.Clusters = 1
+		return a
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cos := vector.Cosine{}
+	centroids := seedPlusPlus(docs, k, rng)
+
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, d := range docs {
+			best, bestSim := 0, -1.0
+			for c, cen := range centroids {
+				if s := cos.Exact(d, cen); s > bestSim {
+					best, bestSim = c, s
+				}
+			}
+			if a.Of[i] != best {
+				a.Of[i] = best
+				changed = true
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		centroids = recompute(docs, a.Of, k, centroids, rng)
+	}
+	a.Centroids = centroids
+
+	if cfg.OutlierThreshold > 0 {
+		extractOutliers(docs, a, cfg.OutlierThreshold)
+	}
+	return a
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ weighting: the
+// first uniformly, the rest proportional to (1 - cosine similarity to the
+// closest chosen centroid).
+func seedPlusPlus(docs []vector.Vector, k int, rng *rand.Rand) []vector.Vector {
+	cos := vector.Cosine{}
+	centroids := make([]vector.Vector, 0, k)
+	centroids = append(centroids, normalize(docs[rng.Intn(len(docs))]))
+	dist := make([]float64, len(docs)) // 1 - best similarity so far
+	for i := range dist {
+		dist[i] = 1
+	}
+	for len(centroids) < k {
+		last := centroids[len(centroids)-1]
+		var total float64
+		for i, d := range docs {
+			if s := 1 - cos.Exact(d, last); s < dist[i] {
+				dist[i] = s
+			}
+			total += dist[i]
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(len(docs))
+		} else {
+			r := rng.Float64() * total
+			for i, w := range dist {
+				r -= w
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, normalize(docs[pick]))
+	}
+	return centroids
+}
+
+// recompute returns the normalized mean vector of each cluster's members.
+// Empty clusters are reseeded with a random document so k stays constant.
+func recompute(docs []vector.Vector, of []int, k int, prev []vector.Vector, rng *rand.Rand) []vector.Vector {
+	sums := make([]map[vector.TermID]float64, k)
+	counts := make([]int, k)
+	for i := range sums {
+		sums[i] = make(map[vector.TermID]float64)
+	}
+	for i, d := range docs {
+		c := of[i]
+		counts[c]++
+		for j := 0; j < d.Len(); j++ {
+			sums[c][d.Term(j)] += d.Weight(j)
+		}
+	}
+	out := make([]vector.Vector, k)
+	for c := range out {
+		if counts[c] == 0 {
+			out[c] = normalize(docs[rng.Intn(len(docs))])
+			continue
+		}
+		out[c] = normalize(vector.New(sums[c]))
+	}
+	_ = prev
+	return out
+}
+
+// normalize returns v scaled to unit norm (or v itself when empty).
+func normalize(v vector.Vector) vector.Vector {
+	n := v.Norm()
+	if n <= 0 {
+		return vector.Vector{}
+	}
+	w := make(map[vector.TermID]float64, v.Len())
+	for i := 0; i < v.Len(); i++ {
+		w[v.Term(i)] = v.Weight(i) / n
+	}
+	return vector.New(w)
+}
+
+// extractOutliers moves objects whose similarity to their centroid is
+// below the threshold into a new outlier cluster appended after the
+// regular ones. Documents with empty vectors are always outliers under a
+// positive threshold.
+func extractOutliers(docs []vector.Vector, a *Assignment, threshold float64) {
+	cos := vector.Cosine{}
+	outlierID := a.Clusters
+	moved := 0
+	for i, d := range docs {
+		if cos.Exact(d, a.Centroids[a.Of[i]]) < threshold {
+			a.Of[i] = outlierID
+			moved++
+		}
+	}
+	if moved > 0 {
+		a.Clusters++
+		a.Centroids = append(a.Centroids, vector.Vector{})
+		a.Outlier = outlierID
+	}
+}
+
+// Entropy returns the Shannon entropy (nats) of a cluster histogram: 0 for
+// pure nodes, ln(#clusters) for uniform mixtures. The E-CIUR search
+// refines high-entropy contributors first because their textual envelopes
+// are loosest.
+func Entropy(counts []int) float64 {
+	var total float64
+	for _, c := range counts {
+		if c > 0 {
+			total += float64(c)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / total
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}

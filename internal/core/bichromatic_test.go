@@ -1,0 +1,131 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rstknn/internal/core"
+	"rstknn/internal/vector"
+)
+
+func TestCountExceedingMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	objs := genObjects(rng, 300, 25, 5)
+	tree := buildTree(t, objs, 0, false)
+	sc := core.NewScorer(0.5, tree.MaxD(), nil)
+	for trial := 0; trial < 20; trial++ {
+		q := genQuery(rng, 25, 5)
+		// Pick a threshold near the similarity distribution.
+		ref := objs[rng.Intn(len(objs))]
+		threshold := sc.Exact(ref.Loc, ref.Doc, q.Loc, q.Doc)
+		want := 0
+		for i := range objs {
+			if sc.Exact(objs[i].Loc, objs[i].Doc, q.Loc, q.Doc) > threshold {
+				want++
+			}
+		}
+		got, _, err := core.CountExceeding(tree, q, threshold, len(objs)+1, 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: CountExceeding = %d, want %d", trial, got, want)
+		}
+		// With a limit, the count caps.
+		if want > 2 {
+			capped, _, err := core.CountExceeding(tree, q, threshold, 2, 0.5, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if capped != 2 {
+				t.Fatalf("trial %d: capped count = %d, want 2", trial, capped)
+			}
+		}
+	}
+}
+
+func TestCountExceedingEdges(t *testing.T) {
+	tree := buildTree(t, genObjects(rand.New(rand.NewSource(1)), 50, 10, 3), 0, false)
+	if n, _, err := core.CountExceeding(tree, core.Query{}, 0, 0, 0.5, nil); err != nil || n != 0 {
+		t.Errorf("limit 0: %d, %v", n, err)
+	}
+	if _, _, err := core.CountExceeding(tree, core.Query{}, 0, 1, 9, nil); err == nil {
+		t.Error("bad alpha should fail")
+	}
+	empty := buildTree(t, nil, 0, false)
+	if n, _, err := core.CountExceeding(empty, core.Query{}, 0, 5, 0.5, nil); err != nil || n != 0 {
+		t.Errorf("empty tree: %d, %v", n, err)
+	}
+	// Threshold above max similarity: nothing exceeds it.
+	if n, _, err := core.CountExceeding(tree, core.Query{}, 2, 5, 0.5, nil); err != nil || n != 0 {
+		t.Errorf("threshold 2: %d, %v", n, err)
+	}
+}
+
+// TestBichromaticMatchesBrute checks the bichromatic extension against a
+// per-user exhaustive computation: u is influenced iff fewer than k
+// facilities are strictly more similar to u than the query.
+func TestBichromaticMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	facilities := genObjects(rng, 250, 25, 5)
+	users := genObjects(rng, 80, 25, 5)
+	tree := buildTree(t, facilities, 0, false)
+	sc := core.NewScorer(0.4, tree.MaxD(), nil)
+	for _, k := range []int{1, 3, 8} {
+		q := genQuery(rng, 25, 5)
+		var want []int32
+		for i := range users {
+			u := &users[i]
+			s0 := sc.Exact(u.Loc, u.Doc, q.Loc, q.Doc)
+			better := 0
+			for j := range facilities {
+				f := &facilities[j]
+				if sc.Exact(u.Loc, u.Doc, f.Loc, f.Doc) > s0 {
+					better++
+				}
+			}
+			if better < k {
+				want = append(want, u.ID)
+			}
+		}
+		got, err := core.BichromaticRSTkNN(tree, users, q, core.BichromaticOptions{K: k, Alpha: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !idsEqual(got.UserIDs, want) {
+			t.Fatalf("k=%d: got %v, want %v", k, got.UserIDs, want)
+		}
+		if got.Metrics.ExactSims == 0 {
+			t.Error("metrics should record work")
+		}
+	}
+}
+
+func TestBichromaticValidation(t *testing.T) {
+	tree := buildTree(t, genObjects(rand.New(rand.NewSource(2)), 20, 10, 3), 0, false)
+	if _, err := core.BichromaticRSTkNN(tree, nil, core.Query{}, core.BichromaticOptions{K: 0, Alpha: 0.5}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := core.BichromaticRSTkNN(tree, nil, core.Query{}, core.BichromaticOptions{K: 1, Alpha: -1}); err == nil {
+		t.Error("bad alpha should fail")
+	}
+	got, err := core.BichromaticRSTkNN(tree, nil, core.Query{}, core.BichromaticOptions{K: 1, Alpha: 0.5})
+	if err != nil || len(got.UserIDs) != 0 {
+		t.Errorf("no users: %v, %v", got, err)
+	}
+}
+
+func TestBichromaticKLargerThanFacilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	facilities := genObjects(rng, 5, 10, 3)
+	users := genObjects(rng, 10, 10, 3)
+	tree := buildTree(t, facilities, 0, false)
+	got, err := core.BichromaticRSTkNN(tree, users, genQuery(rng, 10, 3),
+		core.BichromaticOptions{K: 20, Alpha: 0.5, Sim: vector.Cosine{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.UserIDs) != len(users) {
+		t.Errorf("k > |facilities| should influence all users; got %d", len(got.UserIDs))
+	}
+}

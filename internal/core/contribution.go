@@ -1,0 +1,227 @@
+package core
+
+import (
+	"rstknn/internal/cluster"
+	"rstknn/internal/iurtree"
+)
+
+// contributor is one element of a candidate's contribution list: a tree
+// entry (node or object) outside the candidate's subtree together with
+// similarity bounds of its objects against the candidate's objects. A
+// clustered contributor carries one part per cluster.
+//
+// Bounds are inherited lazily: when a candidate is created by expanding
+// its parent, contributors keep the parts computed against the parent (or
+// an even higher ancestor). Those bounds remain *valid* for the child —
+// every object below the child is also below the parent — just looser,
+// so they are marked stale. The search re-tightens a contributor against
+// the candidate only when the refinement strategy actually selects it,
+// which keeps expansion cost linear in the fan-out instead of quadratic.
+type contributor struct {
+	entry iurtree.Entry
+	parts []part
+	// stale marks parts computed against an ancestor of the candidate
+	// rather than the candidate itself. Rebinding (recomputing parts
+	// against the candidate) is pure CPU — no I/O.
+	stale bool
+}
+
+// maxHi returns the largest upper bound among the contributor's parts.
+func (c *contributor) maxHi() float64 {
+	hi := negInf
+	for _, p := range c.parts {
+		if p.count > 0 && p.hi > hi {
+			hi = p.hi
+		}
+	}
+	return hi
+}
+
+// contributionList is the candidate-relative list plus the candidate's
+// self contribution. It answers the two questions the pruning rules ask:
+// kNNL (a lower bound on the k-th NN similarity of every object below the
+// candidate) and kNNU (the matching upper bound).
+type contributionList struct {
+	contributors []contributor
+	self         []part
+}
+
+// knnBounds computes (kNNL, kNNU) for the given k.
+//
+// kNNL: every object below the candidate has, for contribution part p,
+// p.count neighbors with similarity >= p.lo. Sorting parts by lo
+// descending and accumulating counts, the lo at which the running count
+// first reaches k is a valid lower bound of the k-th NN similarity.
+//
+// kNNU mirrors the construction over hi: the k-th largest element of the
+// multiset of upper bounds dominates the k-th largest true similarity.
+//
+// When fewer than k neighbors exist in total both bounds are -Inf: the
+// k-th NN does not exist, so any query similarity qualifies.
+func (cl *contributionList) knnBounds(k int) (knnl, knnu float64) {
+	var lo, hi kthSelector
+	lo.reset(k)
+	hi.reset(k)
+	cl.knnBoundsInto(&lo, &hi)
+	return lo.kth(), hi.kth()
+}
+
+// knnBoundsInto is the allocation-conscious form: the selectors are reset
+// and filled; callers reuse them across iterations.
+func (cl *contributionList) knnBoundsInto(lo, hi *kthSelector) {
+	for _, p := range cl.self {
+		if p.count > 0 {
+			lo.add(p.lo, p.count)
+			hi.add(p.hi, p.count)
+		}
+	}
+	for i := range cl.contributors {
+		for _, p := range cl.contributors[i].parts {
+			if p.count <= 0 {
+				continue
+			}
+			lo.add(p.lo, p.count)
+			hi.add(p.hi, p.count)
+		}
+	}
+}
+
+// kthSelector computes the k-th largest value of a weighted multiset in
+// one streaming pass. It keeps a min-heap of the largest values whose
+// cumulative count reaches k, evicting the minimum whenever the rest
+// still covers k; the heap therefore holds at most k entries and add is
+// O(1) for the common case of a value below the current k-th.
+type kthSelector struct {
+	k      int64
+	total  int64 // count sum over all added values (including evicted)
+	kept   int64 // count sum over heap entries
+	vals   []float64
+	counts []int64
+}
+
+// reset prepares the selector for a fresh selection of the k-th largest.
+func (s *kthSelector) reset(k int) {
+	s.k = int64(k)
+	s.total = 0
+	s.kept = 0
+	s.vals = s.vals[:0]
+	s.counts = s.counts[:0]
+}
+
+// add feeds `count` copies of val into the multiset.
+func (s *kthSelector) add(val float64, count int32) {
+	c := int64(count)
+	s.total += c
+	// Fast path: the heap already covers k with values >= val, so val can
+	// never be the k-th largest.
+	if s.kept >= s.k && len(s.vals) > 0 && val <= s.vals[0] {
+		return
+	}
+	// Push (val, c).
+	s.vals = append(s.vals, val)
+	s.counts = append(s.counts, c)
+	s.kept += c
+	i := len(s.vals) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.vals[parent] <= s.vals[i] {
+			break
+		}
+		s.vals[parent], s.vals[i] = s.vals[i], s.vals[parent]
+		s.counts[parent], s.counts[i] = s.counts[i], s.counts[parent]
+		i = parent
+	}
+	// Evict minima no longer needed to cover k.
+	for len(s.vals) > 0 && s.kept-s.counts[0] >= s.k {
+		s.kept -= s.counts[0]
+		s.popMin()
+	}
+}
+
+func (s *kthSelector) popMin() {
+	last := len(s.vals) - 1
+	s.vals[0], s.counts[0] = s.vals[last], s.counts[last]
+	s.vals = s.vals[:last]
+	s.counts = s.counts[:last]
+	i := 0
+	n := len(s.vals)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.vals[l] < s.vals[m] {
+			m = l
+		}
+		if r < n && s.vals[r] < s.vals[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.vals[m], s.vals[i] = s.vals[i], s.vals[m]
+		s.counts[m], s.counts[i] = s.counts[i], s.counts[m]
+		i = m
+	}
+}
+
+// kth returns the k-th largest value seen, or -Inf when fewer than k
+// values were added in total.
+func (s *kthSelector) kth() float64 {
+	if s.total < s.k || len(s.vals) == 0 {
+		return negInf
+	}
+	return s.vals[0]
+}
+
+// refinable returns the index of the contributor the strategy wants to
+// tighten next, or -1 when every contributor is a fresh object entry
+// (bounds are exact). Stale contributors (any kind) qualify for a free
+// rebound; fresh internal nodes qualify for an I/O refinement.
+//
+// Only contributors that can influence the pending decision are worth
+// tightening: lowering kNNU requires shrinking a contributor whose upper
+// bound currently occupies one of the top-k slots (maxHi >= knnu). The
+// strategy ranks within that decision-relevant set — by upper bound
+// (RefineByMaxUpper) or by textual entropy (RefineByEntropy, the E-CIUR
+// optimization: mixed contributors have the loosest envelopes, so
+// tightening them moves the bounds furthest). When no contributor
+// reaches knnu (the bound is held by exact parts), the loosest remaining
+// contributor is chosen so kNNL keeps improving.
+func (cl *contributionList) refinable(strategy RefineStrategy, numClusters int, knnu float64) int {
+	best := -1
+	bestKey, bestTie := negInf, negInf
+	bestRelevant := false
+	for i := range cl.contributors {
+		c := &cl.contributors[i]
+		if !c.stale && c.entry.IsObject() {
+			continue // already exact
+		}
+		hi := c.maxHi()
+		relevant := hi >= knnu
+		if bestRelevant && !relevant {
+			continue // never prefer an irrelevant contributor over a relevant one
+		}
+		var key, tie float64
+		switch strategy {
+		case RefineByEntropy:
+			key = cluster.Entropy(c.entry.ClusterCounts(numClusters))
+			tie = hi
+		default: // RefineByMaxUpper
+			key = hi
+			tie = float64(c.entry.Count)
+		}
+		if best == -1 || (relevant && !bestRelevant) ||
+			key > bestKey || (key == bestKey && tie > bestTie) {
+			best, bestKey, bestTie, bestRelevant = i, key, tie, relevant
+		}
+	}
+	return best
+}
+
+// replace substitutes the contributor at index i with the given
+// replacements (its children, with candidate-relative bounds).
+func (cl *contributionList) replace(i int, repl []contributor) {
+	last := len(cl.contributors) - 1
+	cl.contributors[i] = cl.contributors[last]
+	cl.contributors = cl.contributors[:last]
+	cl.contributors = append(cl.contributors, repl...)
+}

@@ -1,0 +1,468 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rstknn/internal/iurtree"
+	"rstknn/internal/pq"
+	"rstknn/internal/storage"
+	"rstknn/internal/vector"
+)
+
+// RefineStrategy selects which contributor a candidate refines next when
+// its contribution list is too coarse to decide.
+type RefineStrategy int
+
+const (
+	// RefineByMaxUpper refines the contributor with the largest upper
+	// bound first — the one most likely to hold real top-k neighbors.
+	// This is the plain IUR/CIUR search order.
+	RefineByMaxUpper RefineStrategy = iota
+	// RefineByEntropy refines the textually most mixed contributor first
+	// (highest cluster entropy) among the decision-relevant ones, the
+	// paper's E-CIUR optimization. Falls back to RefineByMaxUpper
+	// ordering on unclustered trees.
+	RefineByEntropy
+)
+
+// String implements fmt.Stringer.
+func (s RefineStrategy) String() string {
+	switch s {
+	case RefineByMaxUpper:
+		return "max-upper"
+	case RefineByEntropy:
+		return "entropy"
+	default:
+		return fmt.Sprintf("RefineStrategy(%d)", int(s))
+	}
+}
+
+// Options configure an RSTkNN query.
+type Options struct {
+	// K is the rank cutoff: an object is a result when the query is at
+	// least as similar as the object's k-th nearest neighbor.
+	K int
+	// Alpha weights spatial proximity against textual similarity.
+	Alpha float64
+	// Sim is the textual measure; nil defaults to Extended Jaccard.
+	Sim vector.TextSim
+	// Strategy picks the contribution refinement order.
+	Strategy RefineStrategy
+	// GroupRefine allows up to this many contributor node refinements
+	// (each one node read) on an *internal* candidate group before the
+	// candidate is expanded into its children. Free rebounds of inherited
+	// bounds are always performed; 0 expands as soon as rebounds stop
+	// helping.
+	GroupRefine int
+	// EagerBounds disables the lazy bound inheritance: every contributor
+	// of every new candidate group is bounded against the group
+	// immediately at expansion time instead of on first use. Exists for
+	// the DESIGN.md ablation; lazy (false) is strictly better in
+	// practice because pruned groups never pay for tight bounds.
+	EagerBounds bool
+}
+
+// Metrics reports the work one query performed. Simulated I/O is tracked
+// separately on the tree's storage layer.
+type Metrics struct {
+	// NodesRead is the number of tree nodes fetched from storage.
+	NodesRead int
+	// ExactSims and BoundEvals count similarity computations.
+	ExactSims  int64
+	BoundEvals int64
+	// GroupPruned / GroupReported count objects decided at node
+	// granularity (never visited individually) by the two pruning rules.
+	GroupPruned   int
+	GroupReported int
+	// Candidates is the number of object-level candidates examined.
+	Candidates int
+	// Refinements counts contributor refinements (node reads replacing a
+	// contributor with its children); Rebounds counts the free, CPU-only
+	// re-tightenings of inherited bounds.
+	Refinements int
+	Rebounds    int
+}
+
+// Outcome is the result of one RSTkNN query.
+type Outcome struct {
+	// Results holds the IDs of all objects whose top-k would include the
+	// query, sorted ascending for determinism.
+	Results []int32
+	Metrics Metrics
+}
+
+// group is one decision unit: the objects of one text cluster below the
+// candidate's entry (or all of them, cluster = -1, on unclustered trees).
+// Scoping decisions to (entry, cluster) is what makes the CIUR-tree
+// effective: the candidate-side textual envelope is the cluster's, not
+// the node's mixture, so both the query bounds and the kNN bounds
+// tighten dramatically for textually clustered data.
+type group struct {
+	cluster int32
+	env     vector.Envelope
+	count   int32
+	q       interval
+	cl      contributionList
+}
+
+// candidate is a tree entry with its still-undecided groups. Keeping the
+// groups of one entry together means expansion reads the node exactly
+// once no matter how many clusters remain undecided.
+type candidate struct {
+	entry  iurtree.Entry
+	groups []*group
+}
+
+// RSTkNN answers the reverse spatial-textual k nearest neighbor query on
+// a sealed IUR-tree or CIUR-tree: it returns every indexed object o such
+// that SimST(o, q) >= SimST(o, o_k), where o_k is o's k-th most similar
+// indexed object (excluding o itself). Objects with fewer than k
+// neighbors are always results.
+func RSTkNN(t *iurtree.Tree, q Query, opt Options) (*Outcome, error) {
+	if opt.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", opt.K)
+	}
+	if opt.Alpha < 0 || opt.Alpha > 1 {
+		return nil, fmt.Errorf("core: Alpha must be in [0,1], got %g", opt.Alpha)
+	}
+	out := &Outcome{}
+	if t.Len() == 0 {
+		return out, nil
+	}
+	s := &searcher{
+		tree:   t,
+		scorer: NewScorer(opt.Alpha, t.MaxD(), opt.Sim),
+		opt:    opt,
+		out:    out,
+	}
+	if err := s.run(&q); err != nil {
+		return nil, err
+	}
+	out.Metrics.ExactSims = s.scorer.ExactCount
+	out.Metrics.BoundEvals = s.scorer.BoundCount
+	sort.Slice(out.Results, func(i, j int) bool { return out.Results[i] < out.Results[j] })
+	return out, nil
+}
+
+type searcher struct {
+	tree   *iurtree.Tree
+	scorer *Scorer
+	opt    Options
+	out    *Outcome
+	// selLo/selHi are reused across every kNN-bound evaluation of the
+	// query to avoid per-iteration allocation.
+	selLo, selHi kthSelector
+}
+
+func (s *searcher) readNode(id storage.NodeID) (*iurtree.Node, error) {
+	n, err := s.tree.ReadNode(id)
+	if err != nil {
+		return nil, err
+	}
+	s.out.Metrics.NodesRead++
+	return n, nil
+}
+
+func (s *searcher) run(q *Query) error {
+	root := s.tree.RootEntry()
+	if root.Count == 1 {
+		// A single object: it has no neighbors, so the k-th NN similarity
+		// is -Inf and the object is always a result.
+		n, err := s.readNode(root.Child)
+		if err != nil {
+			return err
+		}
+		s.out.Metrics.Candidates++
+		s.out.Results = append(s.out.Results, n.Entries[0].ObjID)
+		return nil
+	}
+
+	// Seed: the root's children, every cluster group undecided, each
+	// child contributing to the others. The pseudo parent groups carry
+	// empty contribution lists.
+	rootNode, err := s.readNode(root.Child)
+	if err != nil {
+		return err
+	}
+	seeds := make([]*group, 0, len(root.Clusters)+1)
+	if s.tree.Clustered() && len(root.Clusters) > 0 {
+		for _, cs := range root.Clusters {
+			seeds = append(seeds, &group{cluster: cs.Cluster})
+		}
+	} else {
+		seeds = append(seeds, &group{cluster: -1})
+	}
+	queue := pq.NewMax[*candidate]()
+	s.pushChildren(queue, &root, rootNode.Entries, seeds, q)
+
+	for !queue.Empty() {
+		c, _ := queue.Pop()
+		if err := s.process(queue, c, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clusterGroupOf returns the child's cluster summary matching the parent
+// group's cluster, or nil when the child holds no such objects. For
+// whole-node groups (cluster -1) it synthesizes a summary covering the
+// entire entry.
+func clusterGroupOf(e *iurtree.Entry, cluster int32) *iurtree.ClusterSummary {
+	if cluster < 0 {
+		return &iurtree.ClusterSummary{Cluster: -1, Count: e.Count, Env: e.Env}
+	}
+	for i := range e.Clusters {
+		if e.Clusters[i].Cluster == cluster {
+			return &e.Clusters[i]
+		}
+	}
+	return nil
+}
+
+// pushChildren turns the entries of an expanded node into candidates.
+// Each surviving parent group is projected onto every child that holds
+// objects of its cluster; the child group inherits the parent group's
+// contribution list and gains the child's siblings as contributors.
+// Inherited and sibling bounds are kept at parent/node granularity and
+// marked stale — valid for the group because its objects are a subset of
+// what the bounds cover — and are tightened lazily when the group is
+// processed, keeping expansion cost linear in the fan-out.
+func (s *searcher) pushChildren(queue *pq.Queue[*candidate], parent *iurtree.Entry, children []iurtree.Entry, parentGroups []*group, q *Query) {
+	parentSide := sideOf(parent)
+	var sibParts [][]part // lazily computed once, shared by all groups
+	for i := range children {
+		child := &children[i]
+		var groups []*group
+		for _, pg := range parentGroups {
+			cs := clusterGroupOf(child, pg.cluster)
+			if cs == nil || cs.Count == 0 {
+				continue
+			}
+			if sibParts == nil {
+				sibParts = make([][]part, len(children))
+				for j := range children {
+					sibParts[j] = s.scorer.entryBounds(parentSide, &children[j])
+				}
+			}
+			g := &group{
+				cluster: pg.cluster,
+				env:     cs.Env,
+				count:   cs.Count,
+			}
+			g.q = s.scorer.queryBounds(side{rect: child.Rect, env: cs.Env, exact: child.IsObject()}, q)
+			g.cl.self = s.scorer.selfParts(child, pg.cluster, cs.Env, cs.Count)
+			g.cl.contributors = make([]contributor, 0, len(pg.cl.contributors)+len(children)-1)
+			for j := range pg.cl.contributors {
+				g.cl.contributors = append(g.cl.contributors, contributor{
+					entry: pg.cl.contributors[j].entry,
+					parts: pg.cl.contributors[j].parts,
+					stale: true,
+				})
+			}
+			for j := range children {
+				if j == i {
+					continue
+				}
+				g.cl.contributors = append(g.cl.contributors, contributor{
+					entry: children[j],
+					parts: sibParts[j],
+					stale: true,
+				})
+			}
+			if s.opt.EagerBounds {
+				gSide := side{rect: child.Rect, env: cs.Env, exact: child.IsObject()}
+				s.reboundStale(gSide, &g.cl)
+			}
+			groups = append(groups, g)
+		}
+		if len(groups) == 0 {
+			continue
+		}
+		best := negInf
+		for _, g := range groups {
+			if g.q.hi > best {
+				best = g.q.hi
+			}
+		}
+		queue.Push(&candidate{entry: *child, groups: groups}, best)
+	}
+}
+
+// verdict is the outcome of deciding one group.
+type verdict int
+
+const (
+	verdictPruned verdict = iota
+	verdictReported
+	verdictExpand
+)
+
+// process drives every group of a candidate to a decision, expanding the
+// entry (one node read) for the groups that stay undecided.
+func (s *searcher) process(queue *pq.Queue[*candidate], c *candidate, q *Query) error {
+	var pending []*group
+	for _, g := range c.groups {
+		v, err := s.decideGroup(c, g)
+		if err != nil {
+			return err
+		}
+		switch v {
+		case verdictPruned:
+			if c.entry.IsObject() {
+				s.out.Metrics.Candidates++
+			} else {
+				s.out.Metrics.GroupPruned += int(g.count)
+			}
+		case verdictReported:
+			if c.entry.IsObject() {
+				s.out.Metrics.Candidates++
+				s.out.Results = append(s.out.Results, c.entry.ObjID)
+			} else {
+				s.out.Metrics.GroupReported += int(g.count)
+				if err := s.collect(&c.entry, g.cluster); err != nil {
+					return err
+				}
+			}
+		case verdictExpand:
+			pending = append(pending, g)
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	node, err := s.readNode(c.entry.Child)
+	if err != nil {
+		return err
+	}
+	s.pushChildren(queue, &c.entry, node.Entries, pending, q)
+	return nil
+}
+
+// decideGroup evaluates one group against the two pruning rules,
+// tightening its contribution list in two tiers: *rebounds* recompute the
+// stale inherited bounds against this group (pure CPU), *refinements*
+// replace a contributor node with its children (one node read each).
+// Object-level groups always reach a decision; internal groups may return
+// verdictExpand once rebounds and the refinement budget are exhausted.
+func (s *searcher) decideGroup(c *candidate, g *group) (verdict, error) {
+	groupBudget := s.opt.GroupRefine
+	gSide := side{rect: c.entry.Rect, env: g.env, exact: c.entry.IsObject()}
+	for {
+		s.selLo.reset(s.opt.K)
+		s.selHi.reset(s.opt.K)
+		g.cl.knnBoundsInto(&s.selLo, &s.selHi)
+		knnl, knnu := s.selLo.kth(), s.selHi.kth()
+		if g.q.hi < knnl {
+			// Rule 1: the query can never reach any member's top-k.
+			return verdictPruned, nil
+		}
+		if g.q.lo >= knnu {
+			// Rule 2: the query ranks within every member's top-k.
+			return verdictReported, nil
+		}
+		// Tier 1: make every inherited bound group-relative (pure CPU).
+		// Loose ancestor-level lower bounds keep kNNL artificially low,
+		// so all of them are tightened in one pass the first time the
+		// group turns out to be undecided.
+		if s.reboundStale(gSide, &g.cl) {
+			continue
+		}
+		idx := g.cl.refinable(s.opt.Strategy, s.tree.NumClusters(), knnu)
+		if c.entry.IsObject() {
+			// Undecided object: refine its contribution list. The loop
+			// is guaranteed to decide once every contributor is a fresh
+			// object, because then knnl == knnu and the two rules are
+			// exhaustive.
+			if idx < 0 {
+				return 0, fmt.Errorf("core: undecidable object %d with exact bounds [%g, %g], query %g",
+					c.entry.ObjID, knnl, knnu, g.q.lo)
+			}
+			if err := s.refine(gSide, &g.cl, idx); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if groupBudget > 0 && idx >= 0 {
+			groupBudget--
+			if err := s.refine(gSide, &g.cl, idx); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		return verdictExpand, nil
+	}
+}
+
+// reboundStale recomputes every stale contributor's bounds against the
+// group itself (they were inherited from an ancestor). No I/O. Returns
+// true when anything changed.
+func (s *searcher) reboundStale(gSide side, cl *contributionList) bool {
+	changed := false
+	for i := range cl.contributors {
+		ct := &cl.contributors[i]
+		if !ct.stale {
+			continue
+		}
+		ct.parts = s.scorer.entryBounds(gSide, &ct.entry)
+		ct.stale = false
+		s.out.Metrics.Rebounds++
+		changed = true
+	}
+	return changed
+}
+
+// refine replaces contributor idx with its children, re-bounded against
+// the group.
+func (s *searcher) refine(gSide side, cl *contributionList, idx int) error {
+	node, err := s.readNode(cl.contributors[idx].entry.Child)
+	if err != nil {
+		return err
+	}
+	s.out.Metrics.Refinements++
+	repl := make([]contributor, len(node.Entries))
+	for i := range node.Entries {
+		repl[i] = contributor{
+			entry: node.Entries[i],
+			parts: s.scorer.entryBounds(gSide, &node.Entries[i]),
+		}
+	}
+	cl.replace(idx, repl)
+	return nil
+}
+
+// collect appends the object IDs below e belonging to the given cluster
+// (every object when cluster < 0) to the result set, reading the subtree
+// (the I/O is charged like any other access).
+func (s *searcher) collect(e *iurtree.Entry, cluster int32) error {
+	if e.IsObject() {
+		s.out.Results = append(s.out.Results, e.ObjID)
+		return nil
+	}
+	node, err := s.readNode(e.Child)
+	if err != nil {
+		return err
+	}
+	for i := range node.Entries {
+		child := &node.Entries[i]
+		if cluster >= 0 && clusterCount(child, cluster) == 0 {
+			continue
+		}
+		if err := s.collect(child, cluster); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clusterCount returns the number of objects of the given cluster below
+// the entry.
+func clusterCount(e *iurtree.Entry, cluster int32) int32 {
+	for i := range e.Clusters {
+		if e.Clusters[i].Cluster == cluster {
+			return e.Clusters[i].Count
+		}
+	}
+	return 0
+}

@@ -1,0 +1,205 @@
+// Package core implements the query processing contribution of the
+// RSTkNN paper (Lu, Lu, Cong — SIGMOD 2011): the branch-and-bound reverse
+// spatial-textual kNN search over IUR-trees/CIUR-trees, driven by
+// per-entry contribution lists that bound the similarity of every object's
+// k-th nearest neighbor, plus the spatial-textual top-k search used by the
+// precomputation baseline and the bichromatic extension.
+package core
+
+import (
+	"math"
+
+	"rstknn/internal/geom"
+	"rstknn/internal/iurtree"
+	"rstknn/internal/vector"
+)
+
+// Query is a query object: a location and a document vector. In the
+// monochromatic RSTkNN problem the query is an object of the same kind as
+// the data set (typically a new, not-yet-indexed object).
+type Query struct {
+	Loc geom.Point
+	Doc vector.Vector
+}
+
+// boundsPad is the absolute slack added to node-level (non-exact)
+// similarity bounds. The bounds are mathematically valid in real
+// arithmetic; the pad absorbs float64 rounding so a bound can never be
+// tighter than the exact similarity it must dominate. Exact object-object
+// similarities are never padded, so accept/reject decisions agree
+// bit-for-bit with the exhaustive baseline.
+const boundsPad = 1e-12
+
+// Scorer evaluates the combined spatial-textual similarity
+//
+//	SimST(a, b) = alpha * (1 - dist(a,b)/maxD) + (1-alpha) * SimT(a.doc, b.doc)
+//
+// and its envelope bounds. A Scorer is bound to one tree's normalization
+// distance maxD.
+type Scorer struct {
+	Alpha float64
+	MaxD  float64
+	Sim   vector.TextSim
+
+	// ExactCount is incremented for every exact similarity evaluation and
+	// BoundCount for every entry-level bound evaluation; the experiment
+	// harness reports both.
+	ExactCount int64
+	BoundCount int64
+}
+
+// NewScorer returns a scorer for the given tree parameters. A nil sim
+// defaults to Extended Jaccard.
+func NewScorer(alpha, maxD float64, sim vector.TextSim) *Scorer {
+	if sim == nil {
+		sim = vector.EJ{}
+	}
+	if maxD <= 0 {
+		maxD = 1
+	}
+	return &Scorer{Alpha: alpha, MaxD: maxD, Sim: sim}
+}
+
+// Exact returns SimST between two concrete objects.
+func (s *Scorer) Exact(aLoc geom.Point, aDoc vector.Vector, bLoc geom.Point, bDoc vector.Vector) float64 {
+	s.ExactCount++
+	spatial := 1 - aLoc.Dist(bLoc)/s.MaxD
+	return s.Alpha*spatial + (1-s.Alpha)*s.Sim.Exact(aDoc, bDoc)
+}
+
+// ExactEntryQuery returns SimST between an object entry and the query.
+func (s *Scorer) ExactEntryQuery(e *iurtree.Entry, q *Query) float64 {
+	return s.Exact(e.Loc(), e.Doc(), q.Loc, q.Doc)
+}
+
+// interval is a [lo, hi] similarity interval.
+type interval struct {
+	lo, hi float64
+}
+
+// side is one side of a bound computation: a spatial extent, a textual
+// envelope, and whether the side is a single concrete object (making
+// exact similarity available when the other side is concrete too).
+type side struct {
+	rect  geom.Rect
+	env   vector.Envelope
+	exact bool
+}
+
+// sideOf builds the bound side of a whole entry.
+func sideOf(e *iurtree.Entry) side {
+	return side{rect: e.Rect, env: e.Env, exact: e.IsObject()}
+}
+
+// queryBounds returns bounds of SimST(o, q) over every object o
+// represented by side a. For concrete objects the interval collapses to
+// the exact value.
+func (s *Scorer) queryBounds(a side, q *Query) interval {
+	if a.exact {
+		v := s.Exact(a.rect.Min, a.env.Int, q.Loc, q.Doc)
+		return interval{v, v}
+	}
+	s.BoundCount++
+	qr := q.Loc.Rect()
+	maxS := 1 - a.rect.MinDist(qr)/s.MaxD
+	minS := 1 - a.rect.MaxDist(qr)/s.MaxD
+	qEnv := vector.Exact(q.Doc)
+	loT, hiT := s.Sim.Bounds(a.env, qEnv)
+	return interval{
+		lo: s.Alpha*minS + (1-s.Alpha)*loT - boundsPad,
+		hi: s.Alpha*maxS + (1-s.Alpha)*hiT + boundsPad,
+	}
+}
+
+// part is one contribution: `count` objects whose similarity to every
+// object of the candidate lies within [lo, hi].
+type part struct {
+	lo, hi float64
+	count  int32
+}
+
+// entryBounds returns the contribution parts of contributor x with
+// respect to candidate side a: bounds of SimST(o, y) valid for every
+// object o covered by a and every object y below x. For a clustered
+// contributor the textual bounds are computed per cluster (the CIUR-tree
+// improvement); the spatial bounds always come from the MBRs.
+//
+// When both sides are concrete objects the single part is the exact
+// similarity (unpadded).
+func (s *Scorer) entryBounds(a side, x *iurtree.Entry) []part {
+	if a.exact && x.IsObject() {
+		v := s.Exact(a.rect.Min, a.env.Int, x.Loc(), x.Doc())
+		return []part{{lo: v, hi: v, count: 1}}
+	}
+	s.BoundCount++
+	maxS := 1 - a.rect.MinDist(x.Rect)/s.MaxD
+	minS := 1 - a.rect.MaxDist(x.Rect)/s.MaxD
+	if len(x.Clusters) > 1 {
+		parts := make([]part, 0, len(x.Clusters))
+		for i := range x.Clusters {
+			cs := &x.Clusters[i]
+			loT, hiT := s.Sim.Bounds(a.env, cs.Env)
+			parts = append(parts, part{
+				lo:    s.Alpha*minS + (1-s.Alpha)*loT - boundsPad,
+				hi:    s.Alpha*maxS + (1-s.Alpha)*hiT + boundsPad,
+				count: cs.Count,
+			})
+		}
+		return parts
+	}
+	loT, hiT := s.Sim.Bounds(a.env, x.Env)
+	return []part{{
+		lo:    s.Alpha*minS + (1-s.Alpha)*loT - boundsPad,
+		hi:    s.Alpha*maxS + (1-s.Alpha)*hiT + boundsPad,
+		count: x.Count,
+	}}
+}
+
+// selfParts returns the contribution of a candidate's own subtree to each
+// of the candidate's objects. For a whole-node candidate (cluster < 0)
+// every object has entry.Count-1 co-members bounded by the node envelope
+// paired with itself. For a cluster-scoped candidate the within-cluster
+// co-members are bounded by the cluster envelope (tight) and every other
+// cluster contributes its own envelope pair — the candidate-side
+// per-cluster bounding that gives the CIUR-tree its pruning power.
+// Spatial bounds use MinDist 0 and MaxDist = the node MBR diagonal.
+func (s *Scorer) selfParts(e *iurtree.Entry, clusterID int32, env vector.Envelope, count int32) []part {
+	if e.Count <= 1 {
+		return nil
+	}
+	minS := 1 - e.Rect.Diagonal()/s.MaxD
+	combine := func(other vector.Envelope, n int32) part {
+		s.BoundCount++
+		loT, hiT := s.Sim.Bounds(env, other)
+		return part{
+			lo:    s.Alpha*minS + (1-s.Alpha)*loT - boundsPad,
+			hi:    s.Alpha*1 + (1-s.Alpha)*hiT + boundsPad,
+			count: n,
+		}
+	}
+	if clusterID < 0 || len(e.Clusters) == 0 {
+		p := combine(e.Env, e.Count-1)
+		if p.count <= 0 {
+			return nil
+		}
+		return []part{p}
+	}
+	parts := make([]part, 0, len(e.Clusters))
+	for i := range e.Clusters {
+		cs := &e.Clusters[i]
+		n := cs.Count
+		if cs.Cluster == clusterID {
+			n-- // an object is not its own neighbor
+		}
+		if n <= 0 {
+			continue
+		}
+		parts = append(parts, combine(cs.Env, n))
+	}
+	return parts
+}
+
+// negInf is the similarity of a non-existent neighbor: an object with
+// fewer than k neighbors has k-th NN similarity -Inf, so the query always
+// ranks within its top-k.
+var negInf = math.Inf(-1)

@@ -1,0 +1,184 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"rstknn/internal/geom"
+	"rstknn/internal/iurtree"
+	"rstknn/internal/textual"
+	"rstknn/internal/vector"
+)
+
+// CSV format: one object per record,
+//
+//	id,x,y,term:weight term:weight ...
+//
+// where terms are raw strings. WriteCSV/ReadCSV round-trip a collection
+// through a vocabulary; ReadRawCSV builds a collection (and vocabulary)
+// from files where the fourth field is free text instead of weighted
+// terms, weighting it with the given scheme.
+
+// WriteCSV writes the collection using vocab to render term strings.
+func WriteCSV(w io.Writer, objs []iurtree.Object, vocab *textual.Vocabulary) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	for _, o := range objs {
+		var sb strings.Builder
+		for i := 0; i < o.Doc.Len(); i++ {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%s:%g", vocab.Term(o.Doc.Term(i)), o.Doc.Weight(i))
+		}
+		rec := []string{
+			strconv.FormatInt(int64(o.ID), 10),
+			strconv.FormatFloat(o.Loc.X, 'g', -1, 64),
+			strconv.FormatFloat(o.Loc.Y, 'g', -1, 64),
+			sb.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses objects written by WriteCSV, interning terms into vocab.
+func ReadCSV(r io.Reader, vocab *textual.Vocabulary) ([]iurtree.Object, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	var objs []iurtree.Object
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		id, err := strconv.ParseInt(rec[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: record %d: bad id %q: %w", line, rec[0], err)
+		}
+		x, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: record %d: bad x %q: %w", line, rec[1], err)
+		}
+		y, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: record %d: bad y %q: %w", line, rec[2], err)
+		}
+		weights := make(map[vector.TermID]float64)
+		if rec[3] != "" {
+			for _, tok := range strings.Fields(rec[3]) {
+				parts := strings.SplitN(tok, ":", 2)
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("dataset: record %d: bad term %q", line, tok)
+				}
+				w, err := strconv.ParseFloat(parts[1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: record %d: bad weight in %q: %w", line, tok, err)
+				}
+				weights[vocab.ID(parts[0])] = w
+			}
+		}
+		objs = append(objs, iurtree.Object{
+			ID:  int32(id),
+			Loc: geom.Point{X: x, Y: y},
+			Doc: vector.New(weights),
+		})
+	}
+	return objs, nil
+}
+
+// ReadRawCSV parses records of the form id,x,y,free text. The text fields
+// are tokenized and weighted with the given scheme over the file's own
+// corpus statistics, which is how a real collection (e.g. a POI dump)
+// would be ingested.
+func ReadRawCSV(r io.Reader, scheme textual.Scheme) ([]iurtree.Object, *textual.Vocabulary, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	corpus := textual.NewCorpus(scheme)
+	type header struct {
+		id   int32
+		x, y float64
+	}
+	var heads []header
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		line++
+		id, err := strconv.ParseInt(rec[0], 10, 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: record %d: bad id %q: %w", line, rec[0], err)
+		}
+		x, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: record %d: bad x %q: %w", line, rec[1], err)
+		}
+		y, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: record %d: bad y %q: %w", line, rec[2], err)
+		}
+		heads = append(heads, header{int32(id), x, y})
+		corpus.Add(rec[3])
+	}
+	vecs := corpus.Vectors()
+	objs := make([]iurtree.Object, len(heads))
+	for i, h := range heads {
+		objs[i] = iurtree.Object{ID: h.id, Loc: geom.Point{X: h.x, Y: h.y}, Doc: vecs[i]}
+	}
+	return objs, corpus.Vocab, nil
+}
+
+// SaveFile writes the collection to path in CSV form.
+func SaveFile(path string, objs []iurtree.Object, vocab *textual.Vocabulary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, objs, vocab); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a WriteCSV-format collection from path.
+func LoadFile(path string, vocab *textual.Vocabulary) ([]iurtree.Object, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, vocab)
+}
+
+// SyntheticVocabulary builds a vocabulary with the synthetic term names
+// ("t0".."tN-1") matching the TermIDs Generate produces, so generated
+// collections can be serialized with WriteCSV.
+func SyntheticVocabulary(size int) *textual.Vocabulary {
+	v := textual.NewVocabulary()
+	for i := 0; i < size; i++ {
+		v.ID("t" + strconv.Itoa(i))
+	}
+	return v
+}

@@ -1,0 +1,271 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rstknn/internal/textual"
+	"rstknn/internal/vector"
+)
+
+func TestGenerateProfiles(t *testing.T) {
+	for _, p := range []Profile{GN, SB, Uniform} {
+		t.Run(p.String(), func(t *testing.T) {
+			c := Generate(p, Params{N: 500, Seed: 1})
+			if len(c.Objects) != 500 {
+				t.Fatalf("generated %d objects", len(c.Objects))
+			}
+			st := c.ComputeStats()
+			if st.Objects != 500 || st.UniqueTerms == 0 || st.TotalTerms == 0 {
+				t.Errorf("stats look wrong: %+v", st)
+			}
+			if st.AvgTermsPerObj < float64(c.Params.MinTerms) ||
+				st.AvgTermsPerObj > float64(c.Params.MaxTerms) {
+				t.Errorf("avg terms %g outside [%d, %d]",
+					st.AvgTermsPerObj, c.Params.MinTerms, c.Params.MaxTerms)
+			}
+			for _, o := range c.Objects {
+				if o.Doc.Len() < c.Params.MinTerms || o.Doc.Len() > c.Params.MaxTerms {
+					t.Fatalf("object %d has %d terms", o.ID, o.Doc.Len())
+				}
+				if !st.SpaceMBR.Contains(o.Loc) {
+					t.Fatalf("object %d outside MBR", o.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestProfileShapesDiffer(t *testing.T) {
+	gn := Generate(GN, Params{N: 2000, Seed: 2}).ComputeStats()
+	sb := Generate(SB, Params{N: 2000, Seed: 2}).ComputeStats()
+	if !(sb.AvgTermsPerObj > gn.AvgTermsPerObj*2) {
+		t.Errorf("SB documents should be much longer: gn=%g sb=%g",
+			gn.AvgTermsPerObj, sb.AvgTermsPerObj)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GN, Params{N: 100, Seed: 9})
+	b := Generate(GN, Params{N: 100, Seed: 9})
+	for i := range a.Objects {
+		if a.Objects[i].Loc != b.Objects[i].Loc || !a.Objects[i].Doc.Equal(b.Objects[i].Doc) {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+	c := Generate(GN, Params{N: 100, Seed: 10})
+	same := true
+	for i := range a.Objects {
+		if a.Objects[i].Loc != c.Objects[i].Loc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical locations")
+	}
+}
+
+func TestGeneratePanicsWithoutN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate with N=0 should panic")
+		}
+	}()
+	Generate(GN, Params{})
+}
+
+func TestQueriesFollowData(t *testing.T) {
+	c := Generate(GN, Params{N: 300, Seed: 3})
+	qs := c.Queries(50, 4)
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	st := c.ComputeStats()
+	outside := 0
+	for _, q := range qs {
+		if q.Doc.IsEmpty() {
+			t.Fatal("query with empty document")
+		}
+		// Perturbed by 1% of space: allow a loose margin around the MBR.
+		grown := st.SpaceMBR
+		grown.Min.X -= 100
+		grown.Min.Y -= 100
+		grown.Max.X += 100
+		grown.Max.Y += 100
+		if !grown.Contains(q.Loc) {
+			outside++
+		}
+	}
+	if outside > 0 {
+		t.Errorf("%d queries far outside the dataspace", outside)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"gn", "sb", "uniform"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != name {
+			t.Errorf("round trip %q -> %q", name, p.String())
+		}
+	}
+	if _, err := ProfileByName("flickr"); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := Generate(GN, Params{N: 120, Seed: 5})
+	vocab := SyntheticVocabulary(c.Params.Vocab)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, c.Objects, vocab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()), vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(c.Objects) {
+		t.Fatalf("read %d objects, wrote %d", len(got), len(c.Objects))
+	}
+	for i := range got {
+		if got[i].ID != c.Objects[i].ID || got[i].Loc != c.Objects[i].Loc {
+			t.Fatalf("object %d header mismatch", i)
+		}
+		if !got[i].Doc.Equal(c.Objects[i].Doc) {
+			t.Fatalf("object %d doc mismatch:\n got %v\nwant %v", i, got[i].Doc, c.Objects[i].Doc)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	vocab := textual.NewVocabulary()
+	cases := []string{
+		"x,1,2,a:1\n",      // bad id
+		"1,x,2,a:1\n",      // bad x
+		"1,2,x,a:1\n",      // bad y
+		"1,2,3,noweight\n", // bad term format
+		"1,2,3,a:notnum\n", // bad weight
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), vocab); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", in)
+		}
+	}
+}
+
+func TestReadRawCSV(t *testing.T) {
+	in := "1,10,20,sushi seafood noodles\n2,30,40,sushi bar\n3,50,60,\n"
+	objs, vocab, err := ReadRawCSV(strings.NewReader(in), textual.TFIDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 {
+		t.Fatalf("read %d objects", len(objs))
+	}
+	sushi, ok := vocab.Lookup("sushi")
+	if !ok {
+		t.Fatal("sushi not in vocabulary")
+	}
+	if !objs[0].Doc.Has(sushi) || !objs[1].Doc.Has(sushi) {
+		t.Error("sushi missing from docs")
+	}
+	if !objs[2].Doc.IsEmpty() {
+		t.Error("empty text should give empty doc")
+	}
+	// Rarer terms weigh more under TF-IDF.
+	seafood, _ := vocab.Lookup("seafood")
+	if !(objs[0].Doc.WeightOf(seafood) > objs[0].Doc.WeightOf(sushi)) {
+		t.Error("rare term should outweigh common term")
+	}
+	if _, _, err := ReadRawCSV(strings.NewReader("bad,1,2,x\n"), textual.TF); err == nil {
+		t.Error("bad id should fail")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "objs.csv")
+	c := Generate(SB, Params{N: 40, Seed: 6})
+	vocab := SyntheticVocabulary(c.Params.Vocab)
+	if err := SaveFile(path, c.Objects, vocab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 40 {
+		t.Fatalf("loaded %d objects", len(got))
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.csv"), vocab); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestSyntheticVocabulary(t *testing.T) {
+	v := SyntheticVocabulary(10)
+	if v.Size() != 10 {
+		t.Fatalf("Size = %d", v.Size())
+	}
+	if v.Term(vector.TermID(3)) != "t3" {
+		t.Errorf("Term(3) = %q", v.Term(3))
+	}
+}
+
+func TestTopicalProfileIsTopicStructured(t *testing.T) {
+	c := Generate(Topical, Params{N: 400, Seed: 8})
+	if c.Params.Topics <= 1 {
+		t.Fatalf("Topics = %d", c.Params.Topics)
+	}
+	topicSize := c.Params.Vocab / c.Params.Topics
+	topicOf := func(term vector.TermID) int { return int(term) / topicSize }
+	for _, o := range c.Objects {
+		if o.Doc.IsEmpty() {
+			t.Fatal("empty doc in topical profile")
+		}
+		first := topicOf(o.Doc.Term(0))
+		for i := 1; i < o.Doc.Len(); i++ {
+			if topicOf(o.Doc.Term(i)) != first {
+				t.Fatalf("object %d mixes topics %d and %d",
+					o.ID, first, topicOf(o.Doc.Term(i)))
+			}
+		}
+	}
+	// Queries reuse anchor-object terms, so they are topic-pure too.
+	for _, q := range c.Queries(30, 9) {
+		first := topicOf(q.Doc.Term(0))
+		for i := 1; i < q.Doc.Len(); i++ {
+			if topicOf(q.Doc.Term(i)) != first {
+				t.Fatal("topical query mixes topics")
+			}
+		}
+	}
+}
+
+func TestGNProfileMixesHeadAndTopicTerms(t *testing.T) {
+	c := Generate(GN, Params{N: 3000, Seed: 10})
+	// The Zipf head should produce a few very common terms across the
+	// collection while topical tails stay rare: the most frequent term
+	// should appear in far more documents than the median term.
+	df := map[vector.TermID]int{}
+	for _, o := range c.Objects {
+		for i := 0; i < o.Doc.Len(); i++ {
+			df[o.Doc.Term(i)]++
+		}
+	}
+	maxDF := 0
+	for _, d := range df {
+		if d > maxDF {
+			maxDF = d
+		}
+	}
+	if maxDF < 100 {
+		t.Errorf("expected a heavy head term, max df = %d", maxDF)
+	}
+}

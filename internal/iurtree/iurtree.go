@@ -1,0 +1,399 @@
+// Package iurtree implements the Intersection-Union R-tree (IUR-tree) of
+// the RSTkNN paper and its cluster-enhanced variant (CIUR-tree).
+//
+// An IUR-tree is an R-tree in which every entry is augmented with
+//
+//   - the number of objects in its subtree, and
+//   - a textual envelope: the intersection vector (per-term minimum weight
+//     over all documents below) and the union vector (per-term maximum).
+//
+// A CIUR-tree additionally partitions each subtree's objects by a textual
+// clustering and stores one (count, envelope) summary per cluster, giving
+// much tighter textual bounds when a subtree mixes unrelated documents.
+//
+// The tree topology is produced by the rtree substrate; this package
+// augments it bottom-up and serializes every node onto the simulated disk
+// (package storage), so queries incur the paper's I/O model: one node
+// visit = ceil(nodeBytes/pageSize) page accesses.
+package iurtree
+
+import (
+	"errors"
+	"fmt"
+
+	"rstknn/internal/cluster"
+	"rstknn/internal/geom"
+	"rstknn/internal/rtree"
+	"rstknn/internal/storage"
+	"rstknn/internal/vector"
+)
+
+// Object is one spatial-textual object to index.
+type Object struct {
+	ID  int32
+	Loc geom.Point
+	Doc vector.Vector
+}
+
+// ClusterSummary is the per-cluster augmentation of a CIUR-tree entry.
+type ClusterSummary struct {
+	Cluster int32
+	Count   int32
+	Env     vector.Envelope
+}
+
+// Entry is one decoded slot of a tree node. Exactly one of Child/ObjID is
+// meaningful: internal entries point at a child node, leaf entries carry
+// an object. Leaf entries have Count == 1 and a degenerate envelope
+// (Int == Uni == the object's document vector).
+type Entry struct {
+	Rect     geom.Rect
+	Child    storage.NodeID // InvalidNode for leaf entries
+	ObjID    int32
+	Count    int32
+	Env      vector.Envelope
+	Clusters []ClusterSummary // nil for plain IUR-trees
+}
+
+// IsObject reports whether the entry is a leaf-level object entry.
+func (e *Entry) IsObject() bool { return e.Child == storage.InvalidNode }
+
+// Loc returns the point location of an object entry.
+func (e *Entry) Loc() geom.Point { return e.Rect.Min }
+
+// Doc returns the exact document vector of an object entry.
+func (e *Entry) Doc() vector.Vector { return e.Env.Int }
+
+// ClusterCounts returns the per-cluster histogram of the entry given the
+// total number of clusters, or nil for unclustered entries.
+func (e *Entry) ClusterCounts(numClusters int) []int {
+	if len(e.Clusters) == 0 {
+		return nil
+	}
+	counts := make([]int, numClusters)
+	for _, cs := range e.Clusters {
+		if int(cs.Cluster) < numClusters {
+			counts[cs.Cluster] = int(cs.Count)
+		}
+	}
+	return counts
+}
+
+// Node is one decoded tree node.
+type Node struct {
+	ID      storage.NodeID
+	Leaf    bool
+	Entries []Entry
+}
+
+// Config controls construction.
+type Config struct {
+	// Store is the simulated disk to write nodes to. Required.
+	Store storage.Blobs
+	// MinEntries/MaxEntries set the R-tree fan-out; zero values pick the
+	// defaults (13/32).
+	MinEntries, MaxEntries int
+	// Clustering, when non-nil, builds a CIUR-tree: Of[i] must be the
+	// cluster of objects[i] and Clusters the total cluster count.
+	Clustering *cluster.Assignment
+	// Incremental builds the topology by one-at-a-time R-tree insertion
+	// (quadratic split) instead of STR bulk loading. Slower; mirrors a
+	// dynamically grown index.
+	Incremental bool
+}
+
+// Tree is a sealed (read-only) IUR-tree or CIUR-tree over a simulated
+// disk. Build one with Build, or reopen a saved one with Open.
+type Tree struct {
+	store       storage.Blobs
+	rootID      storage.NodeID
+	rootEntry   Entry // summary of the whole dataset
+	height      int
+	size        int
+	space       geom.Rect
+	maxD        float64
+	numClusters int // 0 for plain IUR-trees
+}
+
+// Build constructs the tree over the given objects and seals it to disk.
+// Object IDs must be unique; they are the identifiers query results use.
+func Build(objects []Object, cfg Config) (*Tree, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("iurtree: Config.Store is required")
+	}
+	min, max := cfg.MinEntries, cfg.MaxEntries
+	if max == 0 {
+		max = rtree.DefaultMaxEntries
+	}
+	if min == 0 {
+		min = max * 2 / 5
+	}
+	if cfg.Clustering != nil && len(cfg.Clustering.Of) != len(objects) {
+		return nil, fmt.Errorf("iurtree: clustering covers %d objects, have %d",
+			len(cfg.Clustering.Of), len(objects))
+	}
+	seen := make(map[int32]bool, len(objects))
+	byID := make(map[int32]*Object, len(objects))
+	for i := range objects {
+		o := &objects[i]
+		if seen[o.ID] {
+			return nil, fmt.Errorf("iurtree: duplicate object ID %d", o.ID)
+		}
+		seen[o.ID] = true
+		byID[o.ID] = o
+	}
+
+	// 1. Spatial topology.
+	rt := rtree.New(min, max)
+	items := make([]rtree.Item, len(objects))
+	for i, o := range objects {
+		items[i] = rtree.Item{ID: o.ID, Rect: o.Loc.Rect()}
+	}
+	if cfg.Incremental {
+		for _, it := range items {
+			rt.Insert(it)
+		}
+	} else {
+		rt.BulkLoad(items)
+	}
+
+	t := &Tree{
+		store:  cfg.Store,
+		height: rt.Height(),
+		size:   len(objects),
+	}
+	clusterOf := func(id int32) int32 { return 0 }
+	if cfg.Clustering != nil {
+		t.numClusters = cfg.Clustering.Clusters
+		idx := make(map[int32]int, len(objects))
+		for i, o := range objects {
+			idx[o.ID] = i
+		}
+		of := cfg.Clustering.Of
+		clusterOf = func(id int32) int32 { return int32(of[idx[id]]) }
+	}
+
+	// 2. Augment + serialize bottom-up (post-order), so children have IDs
+	// before their parent entry is written.
+	var seal func(n *rtree.Node) (Entry, error)
+	seal = func(n *rtree.Node) (Entry, error) {
+		node := Node{Leaf: n.Leaf}
+		node.Entries = make([]Entry, 0, len(n.Entries))
+		if n.Leaf {
+			for _, re := range n.Entries {
+				o := byID[re.ID]
+				e := Entry{
+					Rect:  re.Rect,
+					Child: storage.InvalidNode,
+					ObjID: o.ID,
+					Count: 1,
+					Env:   vector.Exact(o.Doc),
+				}
+				if t.numClusters > 0 {
+					e.Clusters = []ClusterSummary{{
+						Cluster: clusterOf(o.ID),
+						Count:   1,
+						Env:     e.Env,
+					}}
+				}
+				node.Entries = append(node.Entries, e)
+			}
+		} else {
+			for _, re := range n.Entries {
+				child, err := seal(re.Child)
+				if err != nil {
+					return Entry{}, err
+				}
+				node.Entries = append(node.Entries, child)
+			}
+		}
+		id := t.store.Put(encodeNode(&node))
+		return summarize(&node, id), nil
+	}
+
+	root, err := seal(rt.Root())
+	if err != nil {
+		return nil, err
+	}
+	t.rootID = root.Child
+	t.rootEntry = root
+	t.space = root.Rect
+	t.maxD = root.Rect.Diagonal()
+	if t.maxD == 0 {
+		t.maxD = 1 // single point or empty dataset; avoid division by zero
+	}
+	return t, nil
+}
+
+// summarize builds the parent-level entry describing node (already stored
+// under id): union MBR, summed counts, merged envelopes, merged cluster
+// summaries.
+func summarize(n *Node, id storage.NodeID) Entry {
+	e := Entry{
+		Rect:  geom.EmptyRect(),
+		Child: id,
+	}
+	first := true
+	byCluster := make(map[int32]*ClusterSummary)
+	var order []int32
+	for i := range n.Entries {
+		c := &n.Entries[i]
+		e.Rect = e.Rect.Union(c.Rect)
+		e.Count += c.Count
+		if first {
+			e.Env = c.Env
+			first = false
+		} else {
+			e.Env = vector.Merge(e.Env, c.Env)
+		}
+		for _, cs := range c.Clusters {
+			if prev, ok := byCluster[cs.Cluster]; ok {
+				prev.Count += cs.Count
+				prev.Env = vector.Merge(prev.Env, cs.Env)
+			} else {
+				cp := cs
+				byCluster[cs.Cluster] = &cp
+				order = append(order, cs.Cluster)
+			}
+		}
+	}
+	if len(order) > 0 {
+		e.Clusters = make([]ClusterSummary, 0, len(order))
+		for _, c := range order {
+			e.Clusters = append(e.Clusters, *byCluster[c])
+		}
+	}
+	return e
+}
+
+// ReadNode fetches and decodes the node stored under id, charging
+// simulated I/O on the underlying store.
+func (t *Tree) ReadNode(id storage.NodeID) (*Node, error) {
+	blob, err := t.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decodeNode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("iurtree: node %d: %w", id, err)
+	}
+	n.ID = id
+	return n, nil
+}
+
+// RootID returns the NodeID of the root node.
+func (t *Tree) RootID() storage.NodeID { return t.rootID }
+
+// RootEntry returns the entry summarizing the entire dataset: the
+// dataspace MBR, total object count, corpus envelope, and (for
+// CIUR-trees) the full cluster histogram.
+func (t *Tree) RootEntry() Entry { return t.rootEntry }
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// Space returns the dataspace MBR.
+func (t *Tree) Space() geom.Rect { return t.space }
+
+// MaxD returns the normalization distance: the dataspace diagonal, the
+// maximum distance between any two indexed points.
+func (t *Tree) MaxD() float64 { return t.maxD }
+
+// NumClusters returns the clustering arity, or 0 for a plain IUR-tree.
+func (t *Tree) NumClusters() int { return t.numClusters }
+
+// Clustered reports whether the tree is a CIUR-tree.
+func (t *Tree) Clustered() bool { return t.numClusters > 0 }
+
+// Store exposes the underlying simulated disk (for I/O statistics).
+func (t *Tree) Store() storage.Blobs { return t.store }
+
+// Walk visits every node of the tree in depth-first order, calling visit
+// with the node and its depth (0 at the root). It charges simulated I/O
+// like any other read path.
+func (t *Tree) Walk(visit func(n *Node, depth int) error) error {
+	var rec func(id storage.NodeID, depth int) error
+	rec = func(id storage.NodeID, depth int) error {
+		n, err := t.ReadNode(id)
+		if err != nil {
+			return err
+		}
+		if err := visit(n, depth); err != nil {
+			return err
+		}
+		if n.Leaf {
+			return nil
+		}
+		for i := range n.Entries {
+			if err := rec(n.Entries[i].Child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if t.size == 0 {
+		return nil
+	}
+	return rec(t.rootID, 0)
+}
+
+// CheckInvariants verifies the IUR-tree augmentation invariants on the
+// whole tree: counts add up, every entry's MBR/envelope contains its
+// subtree, and per-cluster summaries partition the entry count. Intended
+// for tests; it reads every node.
+func (t *Tree) CheckInvariants() error {
+	if t.size == 0 {
+		return nil
+	}
+	var check func(e Entry) error
+	check = func(e Entry) error {
+		if e.IsObject() {
+			if e.Count != 1 {
+				return fmt.Errorf("object %d has count %d", e.ObjID, e.Count)
+			}
+			if !e.Env.Int.Equal(e.Env.Uni) {
+				return fmt.Errorf("object %d has non-degenerate envelope", e.ObjID)
+			}
+			return nil
+		}
+		n, err := t.ReadNode(e.Child)
+		if err != nil {
+			return err
+		}
+		var count int32
+		for i := range n.Entries {
+			c := n.Entries[i]
+			count += c.Count
+			if !e.Rect.ContainsRect(c.Rect) {
+				return fmt.Errorf("node %d: child rect %v outside parent %v", e.Child, c.Rect, e.Rect)
+			}
+			if !e.Env.Int.DominatedBy(c.Env.Int) {
+				return fmt.Errorf("node %d: intersection vector not a lower bound", e.Child)
+			}
+			if !c.Env.Uni.DominatedBy(e.Env.Uni) {
+				return fmt.Errorf("node %d: union vector not an upper bound", e.Child)
+			}
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+		if count != e.Count {
+			return fmt.Errorf("node %d: children count %d != entry count %d", e.Child, count, e.Count)
+		}
+		var clusterTotal int32
+		for _, cs := range e.Clusters {
+			clusterTotal += cs.Count
+			if !cs.Env.Valid() {
+				return fmt.Errorf("node %d cluster %d: invalid envelope", e.Child, cs.Cluster)
+			}
+		}
+		if len(e.Clusters) > 0 && clusterTotal != e.Count {
+			return fmt.Errorf("node %d: cluster counts sum to %d, entry count %d", e.Child, clusterTotal, e.Count)
+		}
+		return nil
+	}
+	return check(t.rootEntry)
+}

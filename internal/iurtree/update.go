@@ -1,0 +1,279 @@
+package iurtree
+
+import (
+	"errors"
+
+	"math"
+
+	"rstknn/internal/geom"
+	"rstknn/internal/storage"
+	"rstknn/internal/vector"
+)
+
+// Dynamic updates on a sealed IUR-tree. The paper notes that IUR-tree
+// maintenance mirrors the underlying R-tree: inserting an object descends
+// by least enlargement, splits overflowing nodes, and refreshes the
+// augmented summaries (count, intersection/union vectors) along the
+// path; deletion removes the leaf entry and collapses empty nodes.
+//
+// CIUR-trees are rejected: their per-cluster summaries depend on an
+// offline clustering that a single insert cannot meaningfully extend
+// (the paper likewise treats clustering as an index-construction step) —
+// rebuild to refresh a clustered index.
+//
+// Deletion uses a simplified policy compared to Guttman's CondenseTree:
+// underfull nodes are tolerated (queries remain exact; only packing
+// quality degrades), empty nodes are removed. maxD only grows: inserts
+// outside the original dataspace extend it, deletions never shrink it,
+// so similarity scores remain comparable across the tree's lifetime.
+
+// ErrClustered is returned by Insert/Delete on CIUR-trees.
+var ErrClustered = errors.New("iurtree: clustered trees are sealed; rebuild to update")
+
+// Insert adds one object to a sealed (unclustered) tree.
+func (t *Tree) Insert(o Object) error {
+	if t.numClusters > 0 {
+		return ErrClustered
+	}
+	if t.size == 0 {
+		// Rebuild the singleton tree in place.
+		leaf := &Node{Leaf: true, Entries: []Entry{objectEntry(&o)}}
+		if err := t.store.Update(t.rootID, encodeNode(leaf)); err != nil {
+			return err
+		}
+		t.rootEntry = summarize(leaf, t.rootID)
+		t.size = 1
+		t.height = 1
+		t.space = o.Loc.Rect()
+		t.maxD = 1
+		return nil
+	}
+
+	// Descend by least enlargement, remembering the path.
+	type step struct {
+		id       storage.NodeID
+		node     *Node
+		childIdx int
+	}
+	var path []step
+	id := t.rootID
+	for {
+		node, err := t.ReadNode(id)
+		if err != nil {
+			return err
+		}
+		if node.Leaf {
+			path = append(path, step{id: id, node: node})
+			break
+		}
+		best, bestEnl, bestArea := 0, math.Inf(1), math.Inf(1)
+		for i := range node.Entries {
+			enl := node.Entries[i].Rect.Enlargement(o.Loc.Rect())
+			area := node.Entries[i].Rect.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		path = append(path, step{id: id, node: node, childIdx: best})
+		id = node.Entries[best].Child
+	}
+
+	// Insert into the leaf, then walk back up splitting and refreshing
+	// summaries.
+	leaf := path[len(path)-1]
+	leaf.node.Entries = append(leaf.node.Entries, objectEntry(&o))
+	pendingEntry, splitEntry, err := t.writeNode(leaf.id, leaf.node)
+	if err != nil {
+		return err
+	}
+	for i := len(path) - 2; i >= 0; i-- {
+		st := path[i]
+		st.node.Entries[st.childIdx] = pendingEntry
+		if splitEntry != nil {
+			st.node.Entries = append(st.node.Entries, *splitEntry)
+		}
+		pendingEntry, splitEntry, err = t.writeNode(st.id, st.node)
+		if err != nil {
+			return err
+		}
+	}
+	if splitEntry != nil {
+		// The root itself split: grow a new root.
+		newRoot := &Node{Leaf: false, Entries: []Entry{pendingEntry, *splitEntry}}
+		t.rootID = t.store.Put(encodeNode(newRoot))
+		t.rootEntry = summarize(newRoot, t.rootID)
+		t.height++
+	} else {
+		t.rootEntry = pendingEntry
+	}
+	t.size++
+	t.space = t.space.Extend(o.Loc)
+	if d := t.space.Diagonal(); d > t.maxD {
+		t.maxD = d
+	}
+	return nil
+}
+
+// writeNode persists node (splitting it when over-full) under id and
+// returns the refreshed parent entry plus the entry of the split-off
+// sibling, if any.
+func (t *Tree) writeNode(id storage.NodeID, node *Node) (Entry, *Entry, error) {
+	if len(node.Entries) <= maxFanout {
+		if err := t.store.Update(id, encodeNode(node)); err != nil {
+			return Entry{}, nil, err
+		}
+		return summarize(node, id), nil, nil
+	}
+	left, right := splitEntries(node.Entries)
+	node.Entries = left
+	sibling := &Node{Leaf: node.Leaf, Entries: right}
+	if err := t.store.Update(id, encodeNode(node)); err != nil {
+		return Entry{}, nil, err
+	}
+	sibID := t.store.Put(encodeNode(sibling))
+	se := summarize(sibling, sibID)
+	return summarize(node, id), &se, nil
+}
+
+// maxFanout is the node capacity used by dynamic inserts. Static
+// construction packs to the configured fan-out; updates use the same
+// default ceiling.
+const maxFanout = 32
+
+// splitEntries divides an over-full entry list with Guttman's quadratic
+// heuristics (seeds maximizing dead area, then least-enlargement
+// assignment with a minimum-fill guarantee).
+func splitEntries(entries []Entry) (left, right []Entry) {
+	minFill := len(entries) * 2 / 5
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].Rect.Union(entries[j].Rect).Area() -
+				entries[i].Rect.Area() - entries[j].Rect.Area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	left = append(left, entries[s1])
+	right = append(right, entries[s2])
+	lRect, rRect := entries[s1].Rect, entries[s2].Rect
+	for i, e := range entries {
+		if i == s1 || i == s2 {
+			continue
+		}
+		rest := len(entries) - i - 1 // entries after this one (excluding seeds already taken)
+		switch {
+		case len(left)+rest < minFill:
+			left = append(left, e)
+			lRect = lRect.Union(e.Rect)
+			continue
+		case len(right)+rest < minFill:
+			right = append(right, e)
+			rRect = rRect.Union(e.Rect)
+			continue
+		}
+		d1, d2 := lRect.Enlargement(e.Rect), rRect.Enlargement(e.Rect)
+		if d1 < d2 || (d1 == d2 && len(left) <= len(right)) {
+			left = append(left, e)
+			lRect = lRect.Union(e.Rect)
+		} else {
+			right = append(right, e)
+			rRect = rRect.Union(e.Rect)
+		}
+	}
+	return left, right
+}
+
+func objectEntry(o *Object) Entry {
+	return Entry{
+		Rect:  o.Loc.Rect(),
+		Child: storage.InvalidNode,
+		ObjID: o.ID,
+		Count: 1,
+		Env:   vector.Exact(o.Doc),
+	}
+}
+
+// Delete removes the object with the given ID and location from a sealed
+// (unclustered) tree. It reports whether the object was found.
+func (t *Tree) Delete(id int32, loc geom.Point) (bool, error) {
+	if t.numClusters > 0 {
+		return false, ErrClustered
+	}
+	if t.size == 0 {
+		return false, nil
+	}
+	found, _, err := t.deleteRec(t.rootID, id, loc)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	t.size--
+	// Refresh the root summary.
+	rootNode, err := t.ReadNode(t.rootID)
+	if err != nil {
+		return false, err
+	}
+	// Collapse a chain of single-child internal roots.
+	for !rootNode.Leaf && len(rootNode.Entries) == 1 {
+		t.rootID = rootNode.Entries[0].Child
+		t.height--
+		rootNode, err = t.ReadNode(t.rootID)
+		if err != nil {
+			return false, err
+		}
+	}
+	t.rootEntry = summarize(rootNode, t.rootID)
+	return true, nil
+}
+
+// deleteRec removes the object below node id. It returns whether it was
+// found and whether the node is now empty (so the parent unlinks it).
+func (t *Tree) deleteRec(nid storage.NodeID, id int32, loc geom.Point) (found, empty bool, err error) {
+	node, err := t.ReadNode(nid)
+	if err != nil {
+		return false, false, err
+	}
+	if node.Leaf {
+		for i := range node.Entries {
+			if node.Entries[i].ObjID == id && node.Entries[i].Loc() == loc {
+				node.Entries = append(node.Entries[:i], node.Entries[i+1:]...)
+				if err := t.store.Update(nid, encodeNode(node)); err != nil {
+					return false, false, err
+				}
+				return true, len(node.Entries) == 0, nil
+			}
+		}
+		return false, false, nil
+	}
+	for i := range node.Entries {
+		if !node.Entries[i].Rect.Contains(loc) {
+			continue
+		}
+		childFound, childEmpty, err := t.deleteRec(node.Entries[i].Child, id, loc)
+		if err != nil {
+			return false, false, err
+		}
+		if !childFound {
+			continue
+		}
+		if childEmpty {
+			node.Entries = append(node.Entries[:i], node.Entries[i+1:]...)
+		} else {
+			childNode, err := t.ReadNode(node.Entries[i].Child)
+			if err != nil {
+				return false, false, err
+			}
+			node.Entries[i] = summarize(childNode, node.Entries[i].Child)
+		}
+		if err := t.store.Update(nid, encodeNode(node)); err != nil {
+			return false, false, err
+		}
+		return true, len(node.Entries) == 0, nil
+	}
+	return false, false, nil
+}

@@ -1,0 +1,225 @@
+package iurtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"rstknn/internal/cluster"
+	"rstknn/internal/geom"
+	"rstknn/internal/storage"
+	"rstknn/internal/vector"
+)
+
+func TestInsertIntoSealedTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	objs := randObjects(rng, 300, 25)
+	tr := buildIUR(t, objs[:150], false)
+	for _, o := range objs[150:] {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every object reachable via Walk.
+	seen := map[int32]bool{}
+	if err := tr.Walk(func(n *Node, depth int) error {
+		if n.Leaf {
+			for _, e := range n.Entries {
+				seen[e.ObjID] = true
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 300 {
+		t.Errorf("walk found %d objects", len(seen))
+	}
+}
+
+func TestInsertGrowsTreeAndSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tr := buildIUR(t, randObjects(rng, 5, 10), false)
+	h0 := tr.Height()
+	// Enough inserts to force at least one root split.
+	for i := 0; i < 400; i++ {
+		o := Object{
+			ID:  int32(1000 + i),
+			Loc: geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+			Doc: vector.New(map[vector.TermID]float64{vector.TermID(i % 20): 1}),
+		}
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Height() <= h0 {
+		t.Errorf("height did not grow: %d -> %d", h0, tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Insert far outside the dataspace: maxD must grow.
+	before := tr.MaxD()
+	if err := tr.Insert(Object{ID: 9999, Loc: geom.Point{X: 5000, Y: 5000},
+		Doc: vector.New(map[vector.TermID]float64{1: 1})}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxD() <= before {
+		t.Errorf("maxD did not grow: %g -> %g", before, tr.MaxD())
+	}
+}
+
+func TestInsertIntoEmptyTree(t *testing.T) {
+	tr := buildIUR(t, nil, false)
+	o := Object{ID: 1, Loc: geom.Point{X: 2, Y: 3},
+		Doc: vector.New(map[vector.TermID]float64{4: 1})}
+	if err := tr.Insert(o); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.RootEntry().Count != 1 {
+		t.Fatalf("Len=%d rootCount=%d", tr.Len(), tr.RootEntry().Count)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteFromSealedTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	objs := randObjects(rng, 250, 20)
+	tr := buildIUR(t, objs, false)
+	// Delete a random half.
+	perm := rng.Perm(len(objs))
+	for _, i := range perm[:125] {
+		ok, err := tr.Delete(objs[i].ID, objs[i].Loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("Delete(%d) not found", objs[i].ID)
+		}
+	}
+	if tr.Len() != 125 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted objects are gone; survivors remain.
+	seen := map[int32]bool{}
+	if err := tr.Walk(func(n *Node, depth int) error {
+		if n.Leaf {
+			for _, e := range n.Entries {
+				seen[e.ObjID] = true
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range perm[:125] {
+		if seen[objs[i].ID] {
+			t.Fatalf("deleted object %d still present", objs[i].ID)
+		}
+	}
+	if len(seen) != 125 {
+		t.Errorf("walk found %d survivors", len(seen))
+	}
+}
+
+func TestDeleteMissingAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	objs := randObjects(rng, 20, 10)
+	tr := buildIUR(t, objs, false)
+	if ok, err := tr.Delete(999, geom.Point{X: 1, Y: 1}); err != nil || ok {
+		t.Errorf("deleting unknown object: ok=%v err=%v", ok, err)
+	}
+	// Wrong location for a real ID.
+	if ok, err := tr.Delete(objs[0].ID, geom.Point{X: -1e9, Y: -1e9}); err != nil || ok {
+		t.Errorf("deleting with wrong location: ok=%v err=%v", ok, err)
+	}
+	for _, o := range objs {
+		if ok, err := tr.Delete(o.ID, o.Loc); err != nil || !ok {
+			t.Fatalf("Delete(%d): ok=%v err=%v", o.ID, ok, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting all", tr.Len())
+	}
+	if ok, _ := tr.Delete(objs[0].ID, objs[0].Loc); ok {
+		t.Error("delete from empty tree should find nothing")
+	}
+	// Tree remains usable.
+	if err := tr.Insert(objs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("reinsert failed: Len = %d", tr.Len())
+	}
+}
+
+func TestUpdatesRejectedOnClusteredTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	objs := randObjects(rng, 50, 10)
+	docs := make([]vector.Vector, len(objs))
+	for i := range objs {
+		docs[i] = objs[i].Doc
+	}
+	tr, err := Build(objs, Config{
+		Store:      storage.NewStore(),
+		Clustering: cluster.Run(docs, cluster.Config{K: 3, Seed: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(objs[0]); err != ErrClustered {
+		t.Errorf("Insert on CIUR: %v", err)
+	}
+	if _, err := tr.Delete(objs[0].ID, objs[0].Loc); err != ErrClustered {
+		t.Errorf("Delete on CIUR: %v", err)
+	}
+}
+
+func TestInterleavedUpdatesKeepInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := buildIUR(t, nil, false)
+	live := map[int32]Object{}
+	next := int32(0)
+	for step := 0; step < 1500; step++ {
+		if len(live) == 0 || rng.Float64() < 0.65 {
+			o := Object{
+				ID:  next,
+				Loc: geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+				Doc: vector.New(map[vector.TermID]float64{vector.TermID(rng.Intn(15)): 1 + rng.Float64()}),
+			}
+			next++
+			if err := tr.Insert(o); err != nil {
+				t.Fatal(err)
+			}
+			live[o.ID] = o
+		} else {
+			for id, o := range live {
+				ok, err := tr.Delete(o.ID, o.Loc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("step %d: live object %d not found", step, id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package pq provides small typed priority queues keyed by float64
+// priorities. Every algorithm in this library (branch-and-bound traversal,
+// best-first refinement, top-k maintenance) keeps one or more of these, so
+// they live in a shared package instead of being re-implemented against
+// container/heap at each call site.
+package pq
+
+import "math"
+
+// Queue is a binary-heap priority queue of values of type T. The zero
+// Queue is an empty min-queue; use NewMax for a max-queue.
+type Queue[T any] struct {
+	values     []T
+	priorities []float64
+	max        bool
+}
+
+// NewMin returns an empty queue that pops the smallest priority first.
+func NewMin[T any]() *Queue[T] { return &Queue[T]{} }
+
+// NewMax returns an empty queue that pops the largest priority first.
+func NewMax[T any]() *Queue[T] { return &Queue[T]{max: true} }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.values) }
+
+// Empty reports whether the queue has no items.
+func (q *Queue[T]) Empty() bool { return len(q.values) == 0 }
+
+// Push adds a value with the given priority.
+func (q *Queue[T]) Push(v T, priority float64) {
+	q.values = append(q.values, v)
+	q.priorities = append(q.priorities, priority)
+	q.up(len(q.values) - 1)
+}
+
+// Peek returns the value and priority at the head without removing it.
+// It panics on an empty queue.
+func (q *Queue[T]) Peek() (T, float64) {
+	return q.values[0], q.priorities[0]
+}
+
+// Pop removes and returns the head value and its priority.
+// It panics on an empty queue.
+func (q *Queue[T]) Pop() (T, float64) {
+	v, p := q.values[0], q.priorities[0]
+	last := len(q.values) - 1
+	q.values[0], q.priorities[0] = q.values[last], q.priorities[last]
+	var zero T
+	q.values[last] = zero // release reference for GC
+	q.values = q.values[:last]
+	q.priorities = q.priorities[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return v, p
+}
+
+// Clear removes all items, keeping the allocated capacity.
+func (q *Queue[T]) Clear() {
+	var zero T
+	for i := range q.values {
+		q.values[i] = zero
+	}
+	q.values = q.values[:0]
+	q.priorities = q.priorities[:0]
+}
+
+// Items returns the queued values in heap order (not sorted). Useful for
+// iterating over all pending items without destroying the queue.
+func (q *Queue[T]) Items() []T {
+	out := make([]T, len(q.values))
+	copy(out, q.values)
+	return out
+}
+
+// before reports whether priority a should pop before b.
+func (q *Queue[T]) before(a, b float64) bool {
+	if q.max {
+		return a > b
+	}
+	return a < b
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(q.priorities[i], q.priorities[parent]) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.values)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && q.before(q.priorities[l], q.priorities[best]) {
+			best = l
+		}
+		if r < n && q.before(q.priorities[r], q.priorities[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.swap(i, best)
+		i = best
+	}
+}
+
+func (q *Queue[T]) swap(i, j int) {
+	q.values[i], q.values[j] = q.values[j], q.values[i]
+	q.priorities[i], q.priorities[j] = q.priorities[j], q.priorities[i]
+}
+
+// TopK maintains the k largest-priority values seen so far, backed by a
+// min-queue of size at most k. It is the standard structure for top-k
+// result lists: Threshold is the k-th best priority.
+type TopK[T any] struct {
+	k int
+	q Queue[T]
+}
+
+// NewTopK returns a TopK keeping the k best (largest priority) values.
+// k must be positive.
+func NewTopK[T any](k int) *TopK[T] {
+	if k <= 0 {
+		panic("pq: TopK requires k > 0")
+	}
+	return &TopK[T]{k: k}
+}
+
+// Len returns the number of values currently kept (at most k).
+func (t *TopK[T]) Len() int { return t.q.Len() }
+
+// Full reports whether k values have been collected.
+func (t *TopK[T]) Full() bool { return t.q.Len() >= t.k }
+
+// Threshold returns the k-th best priority seen so far, or -Inf while
+// fewer than k values have been offered.
+func (t *TopK[T]) Threshold() float64 {
+	if !t.Full() {
+		return negInf
+	}
+	_, p := t.q.Peek()
+	return p
+}
+
+// Offer considers a value: it is kept if fewer than k values are stored or
+// its priority beats the current threshold. Returns true when kept.
+// Ties with the threshold are rejected, matching "strictly better than the
+// current k-th" semantics; the caller owns tie policy beyond that.
+func (t *TopK[T]) Offer(v T, priority float64) bool {
+	if t.q.Len() < t.k {
+		t.q.Push(v, priority)
+		return true
+	}
+	if _, worst := t.q.Peek(); priority > worst {
+		t.q.Pop()
+		t.q.Push(v, priority)
+		return true
+	}
+	return false
+}
+
+// Drain removes and returns all kept values sorted by descending priority.
+func (t *TopK[T]) Drain() ([]T, []float64) {
+	n := t.q.Len()
+	vs := make([]T, n)
+	ps := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		vs[i], ps[i] = t.q.Pop()
+	}
+	return vs, ps
+}
+
+var negInf = math.Inf(-1)

@@ -1,0 +1,224 @@
+package pq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinQueueOrder(t *testing.T) {
+	q := NewMin[string]()
+	q.Push("c", 3)
+	q.Push("a", 1)
+	q.Push("b", 2)
+	var got []string
+	for !q.Empty() {
+		v, _ := q.Pop()
+		got = append(got, v)
+	}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("min order = %v", got)
+	}
+}
+
+func TestMaxQueueOrder(t *testing.T) {
+	q := NewMax[int]()
+	for i, p := range []float64{0.3, 0.9, 0.1, 0.5} {
+		q.Push(i, p)
+	}
+	v, p := q.Pop()
+	if v != 1 || p != 0.9 {
+		t.Errorf("Pop = (%d, %g), want (1, 0.9)", v, p)
+	}
+	if v, _ := q.Peek(); v != 3 {
+		t.Errorf("Peek = %d, want 3", v)
+	}
+}
+
+func TestQueueRandomizedHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		q := NewMin[int]()
+		var ps []float64
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			p := rng.Float64()
+			ps = append(ps, p)
+			q.Push(i, p)
+		}
+		sort.Float64s(ps)
+		for i := 0; i < n; i++ {
+			_, p := q.Pop()
+			if p != ps[i] {
+				t.Fatalf("trial %d: popped %g, want %g", trial, p, ps[i])
+			}
+		}
+		if !q.Empty() {
+			t.Fatal("queue should be empty")
+		}
+	}
+}
+
+func TestQueueInterleavedOps(t *testing.T) {
+	q := NewMax[int]()
+	q.Push(1, 1)
+	q.Push(2, 2)
+	if v, _ := q.Pop(); v != 2 {
+		t.Fatal("expected 2 first")
+	}
+	q.Push(3, 3)
+	q.Push(0, 0.5)
+	if v, _ := q.Pop(); v != 3 {
+		t.Fatal("expected 3")
+	}
+	if v, _ := q.Pop(); v != 1 {
+		t.Fatal("expected 1")
+	}
+	if v, _ := q.Pop(); v != 0 {
+		t.Fatal("expected 0")
+	}
+}
+
+func TestQueueClearAndItems(t *testing.T) {
+	q := NewMin[int]()
+	for i := 0; i < 5; i++ {
+		q.Push(i, float64(i))
+	}
+	if len(q.Items()) != 5 {
+		t.Error("Items should return all values")
+	}
+	q.Clear()
+	if !q.Empty() || q.Len() != 0 {
+		t.Error("Clear should empty the queue")
+	}
+	q.Push(9, 9)
+	if v, _ := q.Pop(); v != 9 {
+		t.Error("queue unusable after Clear")
+	}
+}
+
+func TestTopKBasics(t *testing.T) {
+	tk := NewTopK[string](2)
+	if !math.IsInf(tk.Threshold(), -1) {
+		t.Error("threshold before full should be -Inf")
+	}
+	tk.Offer("a", 0.1)
+	tk.Offer("b", 0.5)
+	if !tk.Full() || tk.Threshold() != 0.1 {
+		t.Errorf("threshold = %g, want 0.1", tk.Threshold())
+	}
+	if tk.Offer("c", 0.05) {
+		t.Error("worse value should be rejected")
+	}
+	if !tk.Offer("d", 0.3) {
+		t.Error("better value should be kept")
+	}
+	vs, ps := tk.Drain()
+	if vs[0] != "b" || vs[1] != "d" || ps[0] != 0.5 || ps[1] != 0.3 {
+		t.Errorf("Drain = %v %v", vs, ps)
+	}
+}
+
+func TestTopKTieRejected(t *testing.T) {
+	tk := NewTopK[int](1)
+	tk.Offer(1, 0.5)
+	if tk.Offer(2, 0.5) {
+		t.Error("tie with threshold should be rejected")
+	}
+}
+
+func TestTopKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTopK(0) should panic")
+		}
+	}()
+	NewTopK[int](0)
+}
+
+func TestTopKAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(10)
+		n := rng.Intn(100)
+		tk := NewTopK[int](k)
+		var all []float64
+		for i := 0; i < n; i++ {
+			p := rng.Float64()
+			all = append(all, p)
+			tk.Offer(i, p)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+		_, ps := tk.Drain()
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(ps) != want {
+			t.Fatalf("kept %d, want %d", len(ps), want)
+		}
+		for i, p := range ps {
+			if p != all[i] {
+				t.Fatalf("trial %d: rank %d = %g, want %g", trial, i, p, all[i])
+			}
+		}
+	}
+}
+
+// TestMinQueueSortsQuick is the testing/quick form of the heap property:
+// pushing arbitrary priorities and popping must yield ascending order.
+func TestMinQueueSortsQuick(t *testing.T) {
+	f := func(ps []float64) bool {
+		q := NewMin[int]()
+		clean := ps[:0:0]
+		for _, p := range ps {
+			if !math.IsNaN(p) {
+				clean = append(clean, p)
+			}
+		}
+		for i, p := range clean {
+			q.Push(i, p)
+		}
+		prev := math.Inf(-1)
+		for !q.Empty() {
+			_, p := q.Pop()
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopKThresholdQuick: the TopK threshold equals the k-th largest of
+// the offered priorities for arbitrary inputs.
+func TestTopKThresholdQuick(t *testing.T) {
+	f := func(ps []float64, kRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		clean := ps[:0:0]
+		for _, p := range ps {
+			if !math.IsNaN(p) {
+				clean = append(clean, p)
+			}
+		}
+		tk := NewTopK[int](k)
+		for i, p := range clean {
+			tk.Offer(i, p)
+		}
+		if len(clean) < k {
+			return math.IsInf(tk.Threshold(), -1)
+		}
+		sorted := append([]float64(nil), clean...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		return tk.Threshold() == sorted[k-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

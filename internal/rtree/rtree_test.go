@@ -1,0 +1,311 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rstknn/internal/geom"
+)
+
+func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+func randItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		items[i] = Item{ID: int32(i), Rect: p.Rect()}
+	}
+	return items
+}
+
+func bruteSearch(items []Item, r geom.Rect) []int32 {
+	var out []int32
+	for _, it := range items {
+		if r.Intersects(it.Rect) {
+			out = append(out, it.ID)
+		}
+	}
+	return out
+}
+
+func sortIDs(ids []int32) []int32 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewPanicsOnBadFanout(t *testing.T) {
+	for _, bad := range [][2]int{{1, 10}, {2, 3}, {6, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) should panic", bad[0], bad[1])
+				}
+			}()
+			New(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New(2, 4)
+	pts := []geom.Point{pt(1, 1), pt(2, 2), pt(3, 3), pt(10, 10), pt(11, 11), pt(12, 12)}
+	for i, p := range pts {
+		tr.Insert(Item{ID: int32(i), Rect: p.Rect()})
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := sortIDs(tr.Search(geom.Rect{Min: pt(0, 0), Max: pt(5, 5)}))
+	if !equalIDs(got, []int32{0, 1, 2}) {
+		t.Errorf("Search = %v", got)
+	}
+	if n := len(tr.Search(geom.Rect{Min: pt(100, 100), Max: pt(200, 200)})); n != 0 {
+		t.Errorf("empty region returned %d results", n)
+	}
+}
+
+func TestInsertRandomizedAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := randItems(rng, 800)
+	tr := New(4, 10)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 50; q++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		w, h := rng.Float64()*200, rng.Float64()*200
+		r := geom.Rect{Min: pt(x, y), Max: pt(x+w, y+h)}
+		got := sortIDs(tr.Search(r))
+		want := sortIDs(bruteSearch(items, r))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d results, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestBulkLoadAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 5, 33, 500, 2000} {
+		items := randItems(rng, n)
+		tr := NewDefault()
+		tr.BulkLoad(items)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for q := 0; q < 20; q++ {
+			x, y := rng.Float64()*1000, rng.Float64()*1000
+			r := geom.Rect{Min: pt(x, y), Max: pt(x+150, y+150)}
+			got := sortIDs(tr.Search(r))
+			want := sortIDs(bruteSearch(items, r))
+			if !equalIDs(got, want) {
+				t.Fatalf("n=%d query %d mismatch: %d vs %d", n, q, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestBulkLoadPacksTightly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randItems(rng, 1000)
+	tr := NewDefault()
+	tr.BulkLoad(items)
+	// STR packs to ~full nodes: a 1000-item tree with fan-out 32 should
+	// have height 3 (1000/32 = 32 leaves -> 1 root over 32).
+	if tr.Height() > 3 {
+		t.Errorf("height = %d, expected tightly packed <= 3", tr.Height())
+	}
+}
+
+func TestNearestNeighborsAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randItems(rng, 600)
+	tr := NewDefault()
+	tr.BulkLoad(items)
+	for q := 0; q < 30; q++ {
+		p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		k := 1 + rng.Intn(20)
+		got := tr.NearestNeighbors(p, k)
+		if len(got) != k {
+			t.Fatalf("got %d neighbors, want %d", len(got), k)
+		}
+		// Brute-force distances.
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Rect.Center().Dist(p)
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if diff := nb.Dist - dists[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("rank %d: dist %g, want %g", i, nb.Dist, dists[i])
+			}
+			if i > 0 && got[i-1].Dist > nb.Dist {
+				t.Fatal("neighbors not in ascending order")
+			}
+		}
+	}
+}
+
+func TestNearestNeighborsEdgeCases(t *testing.T) {
+	tr := NewDefault()
+	if got := tr.NearestNeighbors(pt(0, 0), 5); got != nil {
+		t.Error("empty tree should return nil")
+	}
+	tr.Insert(Item{ID: 7, Rect: pt(1, 1).Rect()})
+	if got := tr.NearestNeighbors(pt(0, 0), 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	got := tr.NearestNeighbors(pt(0, 0), 10)
+	if len(got) != 1 || got[0].ID != 7 {
+		t.Errorf("k>size: %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randItems(rng, 300)
+	tr := New(3, 8)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	// Delete a random half, verifying search correctness afterwards.
+	perm := rng.Perm(len(items))
+	removed := make(map[int32]bool)
+	for _, idx := range perm[:150] {
+		if !tr.Delete(items[idx]) {
+			t.Fatalf("Delete(%d) failed", items[idx].ID)
+		}
+		removed[items[idx].ID] = true
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var remaining []Item
+	for _, it := range items {
+		if !removed[it.ID] {
+			remaining = append(remaining, it)
+		}
+	}
+	for q := 0; q < 30; q++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		r := geom.Rect{Min: pt(x, y), Max: pt(x+300, y+300)}
+		got := sortIDs(tr.Search(r))
+		want := sortIDs(bruteSearch(remaining, r))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d after deletes: %d vs %d results", q, len(got), len(want))
+		}
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := NewDefault()
+	tr.Insert(Item{ID: 1, Rect: pt(1, 1).Rect()})
+	if tr.Delete(Item{ID: 2, Rect: pt(1, 1).Rect()}) {
+		t.Error("deleting unknown ID should fail")
+	}
+	if tr.Delete(Item{ID: 1, Rect: pt(2, 2).Rect()}) {
+		t.Error("deleting wrong rect should fail")
+	}
+	if !tr.Delete(Item{ID: 1, Rect: pt(1, 1).Rect()}) {
+		t.Error("deleting existing item should succeed")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	items := randItems(rng, 120)
+	tr := New(2, 5)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	for _, it := range items {
+		if !tr.Delete(it) {
+			t.Fatalf("Delete(%d) failed", it.ID)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("after deleting all: Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Tree is reusable after emptying.
+	tr.Insert(items[0])
+	if got := tr.Search(items[0].Rect); len(got) != 1 {
+		t.Error("reuse after emptying failed")
+	}
+}
+
+func TestInterleavedInsertDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(2, 6)
+	live := make(map[int32]Item)
+	nextID := int32(0)
+	for step := 0; step < 2000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			it := Item{ID: nextID, Rect: p.Rect()}
+			nextID++
+			tr.Insert(it)
+			live[it.ID] = it
+		} else {
+			for id, it := range live {
+				if !tr.Delete(it) {
+					t.Fatalf("step %d: delete %d failed", step, id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	all := geom.Rect{Min: pt(-1, -1), Max: pt(101, 101)}
+	if got := tr.Search(all); len(got) != len(live) {
+		t.Fatalf("full search = %d, want %d", len(got), len(live))
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tr := New(2, 4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(Item{ID: int32(i), Rect: pt(float64(i), float64(i%10)).Rect()})
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", i, err)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d, expected >= 3 for 100 items with fan-out 4", tr.Height())
+	}
+}

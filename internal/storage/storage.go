@@ -1,0 +1,319 @@
+// Package storage simulates the disk layer under the spatial-textual
+// indexes. The RSTkNN paper evaluates algorithms by *simulated I/O*: every
+// tree-node visit costs one page access, and loading a node whose payload
+// spans b pages costs b accesses. This package provides exactly that
+// model: a blob store with a fixed page size, per-read accounting, and an
+// optional LRU buffer pool so both cold and warm query behaviour can be
+// measured.
+//
+// Blobs are node-sized byte slices produced by the trees' serializers.
+// The store is safe for concurrent use.
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// DefaultPageSize matches the 4 KiB page used throughout the literature.
+const DefaultPageSize = 4096
+
+// NodeID identifies a stored blob. IDs are dense, starting at 0.
+type NodeID int32
+
+// InvalidNode is the sentinel for "no node".
+const InvalidNode NodeID = -1
+
+// Stats aggregates the simulated I/O counters of a Store.
+type Stats struct {
+	// Reads is the number of Get calls that missed the buffer pool.
+	Reads int64
+	// PagesRead is the number of pages transferred by those reads
+	// (ceil(blobSize / pageSize) per read, minimum 1).
+	PagesRead int64
+	// CacheHits counts Get calls served by the buffer pool.
+	CacheHits int64
+	// Writes and PagesWritten mirror the read counters for Put/Update.
+	Writes       int64
+	PagesWritten int64
+}
+
+// Add returns the sum of two stat snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Reads:        s.Reads + o.Reads,
+		PagesRead:    s.PagesRead + o.PagesRead,
+		CacheHits:    s.CacheHits + o.CacheHits,
+		Writes:       s.Writes + o.Writes,
+		PagesWritten: s.PagesWritten + o.PagesWritten,
+	}
+}
+
+// Sub returns the difference s - o; useful for measuring one query.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:        s.Reads - o.Reads,
+		PagesRead:    s.PagesRead - o.PagesRead,
+		CacheHits:    s.CacheHits - o.CacheHits,
+		Writes:       s.Writes - o.Writes,
+		PagesWritten: s.PagesWritten - o.PagesWritten,
+	}
+}
+
+// Blobs is the storage abstraction the index layers build on: a blob
+// store with simulated-I/O accounting. Two implementations exist: the
+// in-memory Store and the persistent FileStore.
+type Blobs interface {
+	// Put stores a new blob and returns its NodeID.
+	Put(data []byte) NodeID
+	// Update replaces the blob stored under id.
+	Update(id NodeID, data []byte) error
+	// Get returns the blob stored under id, charging simulated I/O
+	// unless a buffer pool holds it. The returned slice is read-only.
+	Get(id NodeID) ([]byte, error)
+	// Stats returns a snapshot of the I/O counters.
+	Stats() Stats
+	// ResetStats zeroes the I/O counters.
+	ResetStats()
+	// DropCache empties the buffer pool, if any.
+	DropCache()
+	// PageSize returns the simulated page size in bytes.
+	PageSize() int
+	// Len returns the number of stored blobs.
+	Len() int
+	// TotalPages returns the live page footprint.
+	TotalPages() int64
+	// TotalBytes returns the live payload bytes.
+	TotalBytes() int64
+}
+
+// Store is a simulated disk. The zero value is not usable; call NewStore.
+type Store struct {
+	mu       sync.Mutex
+	pageSize int
+	blobs    [][]byte
+	stats    Stats
+	cache    *lru // nil when no buffer pool is configured
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithPageSize overrides the default 4 KiB page size.
+func WithPageSize(bytes int) Option {
+	if bytes <= 0 {
+		panic("storage: page size must be positive")
+	}
+	return func(s *Store) { s.pageSize = bytes }
+}
+
+// WithBufferPool enables an LRU buffer pool holding up to capacityPages
+// pages worth of blobs. Reads served from the pool cost no simulated I/O.
+func WithBufferPool(capacityPages int) Option {
+	return func(s *Store) {
+		if capacityPages > 0 {
+			s.cache = newLRU(capacityPages)
+		}
+	}
+}
+
+// NewStore returns an empty simulated disk.
+func NewStore(opts ...Option) *Store {
+	s := &Store{pageSize: DefaultPageSize}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// PageSize returns the configured page size in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Len returns the number of stored blobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blobs)
+}
+
+// TotalPages returns the total page footprint of all stored blobs — the
+// simulated index size on disk.
+func (s *Store) TotalPages() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, b := range s.blobs {
+		n += int64(s.pagesFor(len(b)))
+	}
+	return n
+}
+
+// TotalBytes returns the summed blob sizes.
+func (s *Store) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, b := range s.blobs {
+		n += int64(len(b))
+	}
+	return n
+}
+
+func (s *Store) pagesFor(size int) int {
+	if size <= 0 {
+		return 1
+	}
+	return (size + s.pageSize - 1) / s.pageSize
+}
+
+// Put stores a new blob and returns its NodeID. The blob is copied.
+func (s *Store) Put(data []byte) NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := NodeID(len(s.blobs))
+	s.blobs = append(s.blobs, cloneBytes(data))
+	s.stats.Writes++
+	s.stats.PagesWritten += int64(s.pagesFor(len(data)))
+	if s.cache != nil {
+		s.cache.put(id, s.blobs[id], s.pagesFor(len(data)))
+	}
+	return id
+}
+
+// Update replaces the blob stored under id. The blob is copied.
+func (s *Store) Update(id NodeID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(s.blobs) {
+		return fmt.Errorf("storage: update of unknown node %d", id)
+	}
+	s.blobs[id] = cloneBytes(data)
+	s.stats.Writes++
+	s.stats.PagesWritten += int64(s.pagesFor(len(data)))
+	if s.cache != nil {
+		s.cache.put(id, s.blobs[id], s.pagesFor(len(data)))
+	}
+	return nil
+}
+
+// Get returns the blob stored under id, charging simulated I/O unless the
+// buffer pool holds it. The returned slice must not be modified.
+func (s *Store) Get(id NodeID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(s.blobs) {
+		return nil, fmt.Errorf("storage: read of unknown node %d", id)
+	}
+	if s.cache != nil {
+		if b, ok := s.cache.get(id); ok {
+			s.stats.CacheHits++
+			return b, nil
+		}
+	}
+	b := s.blobs[id]
+	s.stats.Reads++
+	s.stats.PagesRead += int64(s.pagesFor(len(b)))
+	if s.cache != nil {
+		s.cache.put(id, b, s.pagesFor(len(b)))
+	}
+	return b, nil
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the I/O counters (e.g. after index construction, so
+// query measurements start clean).
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// DropCache empties the buffer pool, simulating a cold start.
+func (s *Store) DropCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache != nil {
+		s.cache.clear()
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// lru is a page-budgeted LRU cache of blobs.
+type lru struct {
+	capacity int // in pages
+	used     int
+	order    *list.List // front = most recent; values are *lruEntry
+	index    map[NodeID]*list.Element
+}
+
+type lruEntry struct {
+	id    NodeID
+	data  []byte
+	pages int
+}
+
+func newLRU(capacityPages int) *lru {
+	return &lru{
+		capacity: capacityPages,
+		order:    list.New(),
+		index:    make(map[NodeID]*list.Element),
+	}
+}
+
+func (c *lru) get(id NodeID) ([]byte, bool) {
+	el, ok := c.index[id]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).data, true
+}
+
+func (c *lru) put(id NodeID, data []byte, pages int) {
+	if el, ok := c.index[id]; ok {
+		ent := el.Value.(*lruEntry)
+		c.used += pages - ent.pages
+		ent.data, ent.pages = data, pages
+		c.order.MoveToFront(el)
+		c.evict()
+		return
+	}
+	if pages > c.capacity {
+		return // blob larger than the whole pool: never cached
+	}
+	el := c.order.PushFront(&lruEntry{id: id, data: data, pages: pages})
+	c.index[id] = el
+	c.used += pages
+	c.evict()
+}
+
+func (c *lru) evict() {
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		ent := back.Value.(*lruEntry)
+		c.order.Remove(back)
+		delete(c.index, ent.id)
+		c.used -= ent.pages
+	}
+}
+
+func (c *lru) clear() {
+	c.order.Init()
+	c.index = make(map[NodeID]*list.Element)
+	c.used = 0
+}

@@ -1,0 +1,222 @@
+// Package textual turns raw text descriptions into the weighted sparse
+// term vectors consumed by the rest of the library. It provides a
+// vocabulary (string term -> dense TermID mapping), corpus-level document
+// frequency statistics, a simple tokenizer, and the term weighting schemes
+// discussed by the RSTkNN paper: binary presence (which makes Extended
+// Jaccard collapse to keyword overlap), raw/sublinear TF, and TF-IDF.
+package textual
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+
+	"rstknn/internal/vector"
+)
+
+// Vocabulary assigns dense TermIDs to term strings and tracks document
+// frequencies. It is not safe for concurrent mutation; build it once, then
+// share it read-only.
+type Vocabulary struct {
+	ids   map[string]vector.TermID
+	terms []string
+	df    []int // document frequency per TermID
+	docs  int   // number of documents folded into df
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]vector.TermID)}
+}
+
+// ID returns the TermID for term, creating one when absent.
+func (v *Vocabulary) ID(term string) vector.TermID {
+	if id, ok := v.ids[term]; ok {
+		return id
+	}
+	id := vector.TermID(len(v.terms))
+	v.ids[term] = id
+	v.terms = append(v.terms, term)
+	v.df = append(v.df, 0)
+	return id
+}
+
+// Lookup returns the TermID for term without creating it.
+func (v *Vocabulary) Lookup(term string) (vector.TermID, bool) {
+	id, ok := v.ids[term]
+	return id, ok
+}
+
+// Term returns the string for a TermID. It panics on unknown IDs.
+func (v *Vocabulary) Term(id vector.TermID) string {
+	return v.terms[id]
+}
+
+// Size returns the number of distinct terms.
+func (v *Vocabulary) Size() int { return len(v.terms) }
+
+// Docs returns the number of documents accumulated via AddDocument.
+func (v *Vocabulary) Docs() int { return v.docs }
+
+// DF returns the document frequency of a term.
+func (v *Vocabulary) DF(id vector.TermID) int {
+	if int(id) >= len(v.df) {
+		return 0
+	}
+	return v.df[id]
+}
+
+// IDF returns the smoothed inverse document frequency
+// log(1 + N/df); terms never seen in a document get the maximum
+// IDF log(1 + N).
+func (v *Vocabulary) IDF(id vector.TermID) float64 {
+	n := float64(v.docs)
+	if n == 0 {
+		return 0
+	}
+	df := float64(v.DF(id))
+	if df == 0 {
+		df = 1
+	}
+	return math.Log(1 + n/df)
+}
+
+// AddDocument folds a document's distinct terms into the document
+// frequency statistics and returns the per-term counts keyed by TermID.
+func (v *Vocabulary) AddDocument(tokens []string) map[vector.TermID]int {
+	counts := make(map[vector.TermID]int, len(tokens))
+	for _, tok := range tokens {
+		counts[v.ID(tok)]++
+	}
+	for id := range counts {
+		v.df[id]++
+	}
+	v.docs++
+	return counts
+}
+
+// TermsAlphabetical returns all terms sorted alphabetically; used by the
+// CLI's stats output and by deterministic dataset serialization.
+func (v *Vocabulary) TermsAlphabetical() []string {
+	out := make([]string, len(v.terms))
+	copy(out, v.terms)
+	sort.Strings(out)
+	return out
+}
+
+// Tokenize lower-cases the input and splits it into maximal runs of
+// letters and digits. It is intentionally simple: the paper's collections
+// are tag/keyword style descriptions.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Scheme is a term weighting scheme turning per-document term counts into
+// a weighted vector.
+type Scheme int
+
+const (
+	// Binary weights every present term 1. Extended Jaccard over binary
+	// weights equals set Jaccard, i.e. the paper's keyword-overlap measure.
+	Binary Scheme = iota
+	// TF uses sublinear term frequency 1 + ln(tf).
+	TF
+	// TFIDF uses (1 + ln(tf)) * idf(term).
+	TFIDF
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Binary:
+		return "binary"
+	case TF:
+		return "tf"
+	case TFIDF:
+		return "tfidf"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// SchemeByName parses a scheme name. Recognized: "binary", "tf", "tfidf".
+func SchemeByName(name string) (Scheme, error) {
+	switch name {
+	case "binary":
+		return Binary, nil
+	case "tf":
+		return TF, nil
+	case "tfidf":
+		return TFIDF, nil
+	default:
+		return 0, fmt.Errorf("textual: unknown weighting scheme %q", name)
+	}
+}
+
+// Weigh turns per-document term counts into a weighted sparse vector using
+// the scheme and the vocabulary's corpus statistics (for IDF).
+func Weigh(counts map[vector.TermID]int, scheme Scheme, vocab *Vocabulary) vector.Vector {
+	if len(counts) == 0 {
+		return vector.Vector{}
+	}
+	w := make(map[vector.TermID]float64, len(counts))
+	for id, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		switch scheme {
+		case Binary:
+			w[id] = 1
+		case TF:
+			w[id] = 1 + math.Log(float64(c))
+		case TFIDF:
+			w[id] = (1 + math.Log(float64(c))) * vocab.IDF(id)
+		}
+	}
+	return vector.New(w)
+}
+
+// Corpus couples a vocabulary with a weighting scheme and offers the
+// one-call path from raw text to vector used by loaders and examples.
+type Corpus struct {
+	Vocab  *Vocabulary
+	Scheme Scheme
+
+	pending []map[vector.TermID]int
+}
+
+// NewCorpus returns an empty corpus with the given weighting scheme.
+func NewCorpus(scheme Scheme) *Corpus {
+	return &Corpus{Vocab: NewVocabulary(), Scheme: scheme}
+}
+
+// Add tokenizes and registers one document, deferring weighting until
+// Vectors is called (IDF needs the full corpus first). It returns the
+// document's index.
+func (c *Corpus) Add(text string) int {
+	c.pending = append(c.pending, c.Vocab.AddDocument(Tokenize(text)))
+	return len(c.pending) - 1
+}
+
+// AddTokens registers one pre-tokenized document.
+func (c *Corpus) AddTokens(tokens []string) int {
+	c.pending = append(c.pending, c.Vocab.AddDocument(tokens))
+	return len(c.pending) - 1
+}
+
+// Len returns the number of registered documents.
+func (c *Corpus) Len() int { return len(c.pending) }
+
+// Vectors weighs every registered document with the corpus statistics
+// accumulated so far and returns them in registration order.
+func (c *Corpus) Vectors() []vector.Vector {
+	out := make([]vector.Vector, len(c.pending))
+	for i, counts := range c.pending {
+		out[i] = Weigh(counts, c.Scheme, c.Vocab)
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package textual
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rstknn/internal/vector"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Sushi, Seafood & Noodles!", []string{"sushi", "seafood", "noodles"}},
+		{"", nil},
+		{"   \t\n", nil},
+		{"CAFE cafe CaFe", []string{"cafe", "cafe", "cafe"}},
+		{"wi-fi 24x7", []string{"wi", "fi", "24x7"}},
+	}
+	for _, tc := range tests {
+		got := Tokenize(tc.in)
+		if len(got) == 0 && len(tc.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestVocabularyIDs(t *testing.T) {
+	v := NewVocabulary()
+	a := v.ID("sushi")
+	b := v.ID("noodles")
+	if a == b {
+		t.Fatal("distinct terms share an ID")
+	}
+	if got := v.ID("sushi"); got != a {
+		t.Error("repeated ID lookup should be stable")
+	}
+	if v.Size() != 2 {
+		t.Errorf("Size = %d, want 2", v.Size())
+	}
+	if v.Term(a) != "sushi" || v.Term(b) != "noodles" {
+		t.Error("Term round trip failed")
+	}
+	if _, ok := v.Lookup("pizza"); ok {
+		t.Error("Lookup should not create terms")
+	}
+	if _, ok := v.Lookup("sushi"); !ok {
+		t.Error("Lookup should find existing terms")
+	}
+}
+
+func TestDocumentFrequencies(t *testing.T) {
+	v := NewVocabulary()
+	v.AddDocument([]string{"a", "a", "b"})
+	v.AddDocument([]string{"b", "c"})
+	v.AddDocument([]string{"b"})
+	if v.Docs() != 3 {
+		t.Fatalf("Docs = %d", v.Docs())
+	}
+	idA, _ := v.Lookup("a")
+	idB, _ := v.Lookup("b")
+	idC, _ := v.Lookup("c")
+	if v.DF(idA) != 1 || v.DF(idB) != 3 || v.DF(idC) != 1 {
+		t.Errorf("DF = %d/%d/%d, want 1/3/1", v.DF(idA), v.DF(idB), v.DF(idC))
+	}
+	// Rarer terms have strictly higher IDF.
+	if !(v.IDF(idA) > v.IDF(idB)) {
+		t.Errorf("IDF(a)=%g should exceed IDF(b)=%g", v.IDF(idA), v.IDF(idB))
+	}
+	if v.DF(vector.TermID(99)) != 0 {
+		t.Error("unknown term DF should be 0")
+	}
+}
+
+func TestIDFEmptyCorpus(t *testing.T) {
+	v := NewVocabulary()
+	if v.IDF(0) != 0 {
+		t.Error("IDF with no documents should be 0")
+	}
+}
+
+func TestWeighSchemes(t *testing.T) {
+	v := NewVocabulary()
+	counts := v.AddDocument([]string{"a", "a", "a", "b"})
+	v.AddDocument([]string{"b"}) // make b common, a rare
+
+	idA, _ := v.Lookup("a")
+	idB, _ := v.Lookup("b")
+
+	bin := Weigh(counts, Binary, v)
+	if bin.WeightOf(idA) != 1 || bin.WeightOf(idB) != 1 {
+		t.Errorf("binary weights = %v", bin)
+	}
+
+	tf := Weigh(counts, TF, v)
+	wantA := 1 + math.Log(3)
+	if math.Abs(tf.WeightOf(idA)-wantA) > 1e-12 || tf.WeightOf(idB) != 1 {
+		t.Errorf("tf weights = %v", tf)
+	}
+
+	tfidf := Weigh(counts, TFIDF, v)
+	if !(tfidf.WeightOf(idA) > tfidf.WeightOf(idB)) {
+		t.Errorf("tfidf should favor the rarer, more frequent term: %v", tfidf)
+	}
+}
+
+func TestWeighEmpty(t *testing.T) {
+	if !Weigh(nil, TFIDF, NewVocabulary()).IsEmpty() {
+		t.Error("weighing empty counts should give empty vector")
+	}
+	if !Weigh(map[vector.TermID]int{1: 0}, TF, NewVocabulary()).IsEmpty() {
+		t.Error("zero counts should be dropped")
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range []string{"binary", "tf", "tfidf"} {
+		s, err := SchemeByName(name)
+		if err != nil {
+			t.Fatalf("SchemeByName(%q): %v", name, err)
+		}
+		if s.String() != name {
+			t.Errorf("round trip %q -> %q", name, s.String())
+		}
+	}
+	if _, err := SchemeByName("bm25"); err == nil {
+		t.Error("unknown scheme should error")
+	}
+}
+
+func TestCorpusVectors(t *testing.T) {
+	c := NewCorpus(TFIDF)
+	i := c.Add("sushi seafood")
+	j := c.Add("sushi noodles noodles")
+	k := c.AddTokens([]string{"seafood"})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	vecs := c.Vectors()
+	if len(vecs) != 3 {
+		t.Fatalf("Vectors len = %d", len(vecs))
+	}
+	sushi, _ := c.Vocab.Lookup("sushi")
+	noodles, _ := c.Vocab.Lookup("noodles")
+	seafood, _ := c.Vocab.Lookup("seafood")
+	if !vecs[i].Has(sushi) || !vecs[i].Has(seafood) || vecs[i].Has(noodles) {
+		t.Errorf("doc %d vector wrong: %v", i, vecs[i])
+	}
+	if !vecs[j].Has(noodles) {
+		t.Errorf("doc %d vector wrong: %v", j, vecs[j])
+	}
+	if !vecs[k].Has(seafood) || vecs[k].Len() != 1 {
+		t.Errorf("doc %d vector wrong: %v", k, vecs[k])
+	}
+	// IDF computed over the full corpus: "noodles" (df 1) outweighs
+	// "sushi" (df 2) within doc j despite equal... tf differs; compare on
+	// doc j: noodles tf=2 idf high, sushi tf=1 idf lower.
+	if !(vecs[j].WeightOf(noodles) > vecs[j].WeightOf(sushi)) {
+		t.Errorf("expected rarer+more frequent term to dominate: %v", vecs[j])
+	}
+}
+
+func TestTermsAlphabetical(t *testing.T) {
+	v := NewVocabulary()
+	for _, s := range []string{"zebra", "apple", "mango"} {
+		v.ID(s)
+	}
+	got := v.TermsAlphabetical()
+	want := []string{"apple", "mango", "zebra"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TermsAlphabetical = %v", got)
+	}
+}

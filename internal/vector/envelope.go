@@ -1,0 +1,60 @@
+package vector
+
+// Envelope is the textual summary an IUR-tree node stores for its subtree:
+// the intersection vector Int (per-term minimum weight over all member
+// documents; a term missing from any member has minimum 0 and is dropped)
+// and the union vector Uni (per-term maximum weight). Every member vector x
+// of the subtree satisfies Int <= x <= Uni coordinate-wise, which is the
+// property all textual bounds rely on.
+type Envelope struct {
+	Int Vector
+	Uni Vector
+}
+
+// Exact returns the degenerate envelope of a single document: both bounds
+// equal the document vector.
+func Exact(v Vector) Envelope { return Envelope{Int: v, Uni: v} }
+
+// EmptyEnvelope returns the identity element for Merge: merging it with an
+// envelope e yields e. Int is nil (treated as "all terms at +inf" is what a
+// true identity would need, so Merge special-cases emptiness via the count
+// argument instead — see Merge).
+func EmptyEnvelope() Envelope { return Envelope{} }
+
+// Merge combines two envelopes that each summarize a non-empty set of
+// documents: the intersection vectors are intersected (coordinate-wise
+// min), the union vectors are united (coordinate-wise max).
+func Merge(a, b Envelope) Envelope {
+	return Envelope{
+		Int: a.Int.Min(b.Int),
+		Uni: a.Uni.Max(b.Uni),
+	}
+}
+
+// MergeAll folds Merge over a list of envelopes. It returns the zero
+// Envelope when the list is empty.
+func MergeAll(es []Envelope) Envelope {
+	if len(es) == 0 {
+		return Envelope{}
+	}
+	acc := es[0]
+	for _, e := range es[1:] {
+		acc = Merge(acc, e)
+	}
+	return acc
+}
+
+// Contains reports whether vector x lies inside the envelope:
+// Int <= x <= Uni coordinate-wise.
+func (e Envelope) Contains(x Vector) bool {
+	return e.Int.DominatedBy(x) && x.DominatedBy(e.Uni)
+}
+
+// Valid reports whether Int <= Uni coordinate-wise, the structural
+// invariant of every envelope.
+func (e Envelope) Valid() bool { return e.Int.DominatedBy(e.Uni) }
+
+// Clone deep-copies the envelope.
+func (e Envelope) Clone() Envelope {
+	return Envelope{Int: e.Int.Clone(), Uni: e.Uni.Clone()}
+}

@@ -1,0 +1,145 @@
+package vector
+
+import "math"
+
+// TextSim is a textual similarity measure together with envelope bounds.
+// Implementations must guarantee, for any vectors x in e1 and y in e2:
+//
+//	lo, hi := Bounds(e1, e2)  =>  lo <= Exact(x, y) <= hi
+//
+// and Exact must be symmetric with range [0, 1].
+type TextSim interface {
+	// Name returns a short identifier ("ej", "cosine").
+	Name() string
+	// Exact returns the similarity of two concrete vectors.
+	Exact(x, y Vector) float64
+	// Bounds returns a lower and an upper bound of the similarity between
+	// any member of e1 and any member of e2.
+	Bounds(e1, e2 Envelope) (lo, hi float64)
+}
+
+// EJ is the Extended Jaccard similarity of the RSTkNN paper:
+//
+//	EJ(x, y) = <x,y> / (|x|^2 + |y|^2 - <x,y>)
+//
+// For binary-weighted vectors this reduces to set Jaccard (keyword
+// overlap), so the paper's third measure is EJ over binary weights.
+//
+// Bound derivation. Write s = <x,y>, n = |x|^2 + |y|^2, f(s,n) = s/(n-s).
+// By Cauchy-Schwarz and AM-GM, n >= 2|x||y| >= 2s, so n - s >= s >= 0 and
+// f is in [0,1]. On that domain f is non-decreasing in s and non-increasing
+// in n. With x in [i1,u1] and y in [i2,u2] coordinate-wise (all weights
+// non-negative):
+//
+//	s in [<i1,i2>, <u1,u2>]   and   n in [|i1|^2+|i2|^2, |u1|^2+|u2|^2]
+//
+// hence f(<i1,i2>, |u1|^2+|u2|^2) <= EJ(x,y) <= f(<u1,u2>, |i1|^2+|i2|^2),
+// with the upper bound clipped to 1 when the denominator is not positive
+// (the envelope extremes need not be jointly attainable; the bound is
+// still valid because EJ(x,y) <= 1 always).
+type EJ struct{}
+
+// Name implements TextSim.
+func (EJ) Name() string { return "ej" }
+
+// Exact implements TextSim.
+func (EJ) Exact(x, y Vector) float64 {
+	s := x.Dot(y)
+	if s <= 0 {
+		return 0
+	}
+	den := x.Norm2() + y.Norm2() - s
+	if den <= 0 {
+		// Only possible for x == y up to rounding; similarity is maximal.
+		return 1
+	}
+	return s / den
+}
+
+// Bounds implements TextSim.
+func (EJ) Bounds(e1, e2 Envelope) (lo, hi float64) {
+	// Disjoint unions are the common case on clustered trees: every
+	// member similarity is 0 and no further arithmetic is needed.
+	sMax := e1.Uni.Dot(e2.Uni)
+	if sMax <= 0 {
+		return 0, 0
+	}
+	sMin := e1.Int.Dot(e2.Int)
+	if sMin > 0 {
+		nMax := e1.Uni.Norm2() + e2.Uni.Norm2()
+		lo = sMin / (nMax - sMin)
+	}
+	nMin := e1.Int.Norm2() + e2.Int.Norm2()
+	if den := nMin - sMax; den > 0 {
+		hi = math.Min(1, sMax/den)
+	} else {
+		hi = 1
+	}
+	if lo > hi { // guard against rounding inversions on degenerate envelopes
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Cosine is the cosine similarity <x,y> / (|x| |y|), an alternative SimT
+// discussed by the paper. Empty vectors have similarity 0.
+//
+// Bound derivation mirrors EJ: cosine is non-decreasing in the dot product
+// and non-increasing in each norm, so with the same envelope extremes:
+//
+//	<i1,i2> / (|u1| |u2|)  <=  cos(x,y)  <=  min(1, <u1,u2> / (|i1| |i2|))
+//
+// with the upper bound clipped to 1 when an intersection norm is 0.
+type Cosine struct{}
+
+// Name implements TextSim.
+func (Cosine) Name() string { return "cosine" }
+
+// Exact implements TextSim.
+func (Cosine) Exact(x, y Vector) float64 {
+	s := x.Dot(y)
+	if s <= 0 {
+		return 0
+	}
+	den := x.Norm() * y.Norm()
+	if den <= 0 {
+		return 0
+	}
+	return math.Min(1, s/den)
+}
+
+// Bounds implements TextSim.
+func (Cosine) Bounds(e1, e2 Envelope) (lo, hi float64) {
+	sMax := e1.Uni.Dot(e2.Uni)
+	if sMax <= 0 {
+		return 0, 0
+	}
+	sMin := e1.Int.Dot(e2.Int)
+	if sMin > 0 {
+		if den := e1.Uni.Norm() * e2.Uni.Norm(); den > 0 {
+			lo = math.Min(1, sMin/den)
+		}
+	}
+	if den := e1.Int.Norm() * e2.Int.Norm(); den > 0 {
+		hi = math.Min(1, sMax/den)
+	} else {
+		hi = 1
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// ByName returns the TextSim registered under name, or nil when unknown.
+// Recognized names: "ej", "cosine".
+func ByName(name string) TextSim {
+	switch name {
+	case "ej":
+		return EJ{}
+	case "cosine":
+		return Cosine{}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,422 @@
+// Package rstknn is a Go implementation of reverse spatial and textual
+// k nearest neighbor (RSTkNN) search — the query, index structures, and
+// algorithms of "Reverse spatial and textual k nearest neighbor search"
+// (Lu, Lu, Cong — SIGMOD 2011).
+//
+// Given a collection of geo-textual objects (a location plus a text
+// description), an RSTkNN query asks: for a new object q, which existing
+// objects would rank q within their top-k most similar objects, where
+// similarity blends spatial proximity and textual relevance?
+//
+//	SimST(o, q) = alpha * (1 - dist(o,q)/maxD) + (1-alpha) * SimT(o.text, q.text)
+//
+// The package builds a disk-resident IUR-tree (an R-tree whose nodes
+// carry per-subtree intersection/union term vectors and object counts) or
+// its cluster-enhanced CIUR variant, and answers queries with the paper's
+// branch-and-bound search driven by contribution lists.
+//
+// Quick start:
+//
+//	objects := []rstknn.Object{
+//	    {ID: 1, X: 3, Y: 4, Text: "sushi seafood"},
+//	    {ID: 2, X: 8, Y: 1, Text: "noodles ramen"},
+//	}
+//	eng, err := rstknn.Build(objects, rstknn.Options{Alpha: 0.5})
+//	...
+//	res, err := eng.Query(5, 5, "sushi bar", 2)
+//	// res.IDs lists the objects that would see the query in their top-2.
+package rstknn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rstknn/internal/baseline"
+	"rstknn/internal/cluster"
+	"rstknn/internal/core"
+	"rstknn/internal/geom"
+	"rstknn/internal/iurtree"
+	"rstknn/internal/storage"
+	"rstknn/internal/textual"
+	"rstknn/internal/vector"
+)
+
+// Object is one geo-textual object to index: an application ID, a planar
+// location, and a raw text description (tokenized and weighted by the
+// engine).
+type Object struct {
+	ID   int32
+	X, Y float64
+	Text string
+}
+
+// IndexKind selects the index structure.
+type IndexKind int
+
+const (
+	// IUR builds the plain Intersection-Union R-tree.
+	IUR IndexKind = iota
+	// CIUR builds the cluster-enhanced IUR-tree: objects are clustered by
+	// text and every node stores per-cluster envelopes for tighter bounds.
+	CIUR
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	switch k {
+	case IUR:
+		return "iur"
+	case CIUR:
+		return "ciur"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// Options configure an Engine. The zero value gives a sensible default:
+// alpha 0.5, TF-IDF weighting, Extended Jaccard similarity, a plain
+// IUR-tree with 4 KiB pages and no buffer pool (cold-query I/O counting).
+type Options struct {
+	// Alpha in [0,1] weighs spatial proximity against text similarity;
+	// the conventional default is 0.5. Use AlphaSet to pass an explicit 0.
+	Alpha float64
+	// AlphaSet marks Alpha as intentionally 0 (pure text ranking).
+	AlphaSet bool
+	// Weighting is the term weighting scheme: "tfidf" (default), "tf", or
+	// "binary" (binary + "ej" yields the keyword-overlap measure).
+	Weighting string
+	// Measure is the text similarity: "ej" (default) or "cosine".
+	Measure string
+	// Index picks IUR (default) or CIUR.
+	Index IndexKind
+	// Clusters is the CIUR cluster count (default 8).
+	Clusters int
+	// OutlierThreshold enables O-CIUR outlier extraction when positive.
+	OutlierThreshold float64
+	// EntropyRefinement enables the E-CIUR entropy-driven refinement
+	// order at query time.
+	EntropyRefinement bool
+	// GroupRefine allows this many contributor refinements on internal
+	// candidates before expansion (see the paper's lazy group pruning).
+	GroupRefine int
+	// PageSize overrides the simulated 4 KiB disk page.
+	PageSize int
+	// BufferPoolPages enables an LRU buffer pool of that many pages.
+	BufferPoolPages int
+	// FanoutMin/FanoutMax override the R-tree fan-out.
+	FanoutMin, FanoutMax int
+	// Seed fixes clustering randomness.
+	Seed int64
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.Alpha == 0 && !out.AlphaSet {
+		out.Alpha = 0.5
+	}
+	if out.Alpha < 0 || out.Alpha > 1 {
+		return out, fmt.Errorf("rstknn: Alpha must be in [0,1], got %g", out.Alpha)
+	}
+	if out.Weighting == "" {
+		out.Weighting = "tfidf"
+	}
+	if _, err := textual.SchemeByName(out.Weighting); err != nil {
+		return out, err
+	}
+	if out.Measure == "" {
+		out.Measure = "ej"
+	}
+	if vector.ByName(out.Measure) == nil {
+		return out, fmt.Errorf("rstknn: unknown measure %q", out.Measure)
+	}
+	if out.Clusters == 0 {
+		out.Clusters = 8
+	}
+	if out.PageSize == 0 {
+		out.PageSize = storage.DefaultPageSize
+	}
+	return out, nil
+}
+
+// Engine is a sealed RSTkNN index over one object collection.
+type Engine struct {
+	opt     Options
+	scheme  textual.Scheme
+	measure vector.TextSim
+	vocab   *textual.Vocabulary
+	objects []iurtree.Object
+	byID    map[int32]int
+	tree    *iurtree.Tree
+	store   storage.Blobs
+	build   time.Duration
+}
+
+// Build indexes the objects and returns a ready Engine.
+func Build(objects []Object, opt Options) (*Engine, error) {
+	resolved, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	scheme, _ := textual.SchemeByName(resolved.Weighting)
+	e := &Engine{
+		opt:     resolved,
+		scheme:  scheme,
+		measure: vector.ByName(resolved.Measure),
+		byID:    make(map[int32]int, len(objects)),
+	}
+
+	start := time.Now()
+	corpus := textual.NewCorpus(scheme)
+	for _, o := range objects {
+		corpus.Add(o.Text)
+	}
+	e.vocab = corpus.Vocab
+	docs := corpus.Vectors()
+	e.objects = make([]iurtree.Object, len(objects))
+	for i, o := range objects {
+		if _, dup := e.byID[o.ID]; dup {
+			return nil, fmt.Errorf("rstknn: duplicate object ID %d", o.ID)
+		}
+		e.byID[o.ID] = i
+		e.objects[i] = iurtree.Object{
+			ID:  o.ID,
+			Loc: geom.Point{X: o.X, Y: o.Y},
+			Doc: docs[i],
+		}
+	}
+
+	var storeOpts []storage.Option
+	storeOpts = append(storeOpts, storage.WithPageSize(resolved.PageSize))
+	if resolved.BufferPoolPages > 0 {
+		storeOpts = append(storeOpts, storage.WithBufferPool(resolved.BufferPoolPages))
+	}
+	e.store = storage.NewStore(storeOpts...)
+
+	cfg := iurtree.Config{
+		Store:      e.store,
+		MinEntries: resolved.FanoutMin,
+		MaxEntries: resolved.FanoutMax,
+	}
+	if resolved.Index == CIUR {
+		cfg.Clustering = cluster.Run(docs, cluster.Config{
+			K:                resolved.Clusters,
+			Seed:             resolved.Seed,
+			OutlierThreshold: resolved.OutlierThreshold,
+		})
+	}
+	tree, err := iurtree.Build(e.objects, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.tree = tree
+	e.build = time.Since(start)
+	return e, nil
+}
+
+// vectorize weighs free text against the engine's corpus statistics.
+// Unseen terms get the maximum IDF: they never match any indexed object
+// anyway, but keep the query's norm honest.
+func (e *Engine) vectorize(text string) vector.Vector {
+	counts := make(map[vector.TermID]int)
+	for _, tok := range textual.Tokenize(text) {
+		if id, ok := e.vocab.Lookup(tok); ok {
+			counts[id]++
+		}
+	}
+	return textual.Weigh(counts, e.scheme, e.vocab)
+}
+
+// Result is the outcome of one reverse query.
+type Result struct {
+	// IDs lists the objects that would rank the query within their
+	// top-k, ascending.
+	IDs []int32
+	// Stats describes the work performed.
+	Stats QueryStats
+}
+
+// QueryStats describes the cost of one query under the simulated I/O
+// model (one node read = ceil(nodeBytes/pageSize) page accesses).
+type QueryStats struct {
+	Duration      time.Duration
+	NodesRead     int
+	PageAccesses  int64
+	CacheHits     int64
+	ExactSims     int64
+	BoundEvals    int64
+	GroupPruned   int
+	GroupReported int
+	Candidates    int
+	Refinements   int
+}
+
+// Query answers the RSTkNN query for a prospective object at (x, y) with
+// the given text: which indexed objects would rank it within their top-k?
+func (e *Engine) Query(x, y float64, text string, k int) (*Result, error) {
+	return e.QueryVector(x, y, e.vectorize(text), k)
+}
+
+// QueryVector is Query with a pre-built term vector (advanced use: the
+// vector must be weighted against this engine's vocabulary).
+func (e *Engine) QueryVector(x, y float64, doc vector.Vector, k int) (*Result, error) {
+	strategy := core.RefineByMaxUpper
+	if e.opt.EntropyRefinement {
+		strategy = core.RefineByEntropy
+	}
+	before := e.store.Stats()
+	start := time.Now()
+	out, err := core.RSTkNN(e.tree, core.Query{Loc: geom.Point{X: x, Y: y}, Doc: doc}, core.Options{
+		K:           k,
+		Alpha:       e.opt.Alpha,
+		Sim:         e.measure,
+		Strategy:    strategy,
+		GroupRefine: e.opt.GroupRefine,
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	io := e.store.Stats().Sub(before)
+	return &Result{
+		IDs: out.Results,
+		Stats: QueryStats{
+			Duration:      elapsed,
+			NodesRead:     out.Metrics.NodesRead,
+			PageAccesses:  io.PagesRead,
+			CacheHits:     io.CacheHits,
+			ExactSims:     out.Metrics.ExactSims,
+			BoundEvals:    out.Metrics.BoundEvals,
+			GroupPruned:   out.Metrics.GroupPruned,
+			GroupReported: out.Metrics.GroupReported,
+			Candidates:    out.Metrics.Candidates,
+			Refinements:   out.Metrics.Refinements,
+		},
+	}, nil
+}
+
+// QueryByID answers the reverse query for an object already in the
+// index: which *other* indexed objects would rank object id within their
+// top-k? The object itself (which trivially ranks the query, similarity
+// 1) is excluded from the result.
+func (e *Engine) QueryByID(id int32, k int) (*Result, error) {
+	i, ok := e.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("rstknn: unknown object ID %d", id)
+	}
+	o := e.objects[i]
+	res, err := e.QueryVector(o.Loc.X, o.Loc.Y, o.Doc, k)
+	if err != nil {
+		return nil, err
+	}
+	filtered := res.IDs[:0]
+	for _, rid := range res.IDs {
+		if rid != id {
+			filtered = append(filtered, rid)
+		}
+	}
+	res.IDs = filtered
+	return res, nil
+}
+
+// TopK returns the k indexed objects most similar to the given location
+// and text, by descending similarity.
+func (e *Engine) TopK(x, y float64, text string, k int) ([]Neighbor, error) {
+	nbs, _, err := core.TopK(e.tree, core.Query{Loc: geom.Point{X: x, Y: y}, Doc: e.vectorize(text)},
+		core.TopKOptions{K: k, Alpha: e.opt.Alpha, Sim: e.measure, Exclude: -1})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(nbs))
+	for i, nb := range nbs {
+		out[i] = Neighbor{ID: nb.ID, Similarity: nb.Sim}
+	}
+	return out, nil
+}
+
+// Neighbor is one top-k result.
+type Neighbor struct {
+	ID         int32
+	Similarity float64
+}
+
+// Influence answers the bichromatic reverse query: which of the given
+// users would rank a facility at (x, y) with the given text within their
+// top-k among this engine's indexed objects (treated as the facility
+// set)? User text is weighted against the engine's corpus.
+func (e *Engine) Influence(users []Object, x, y float64, text string, k int) ([]int32, error) {
+	us := make([]iurtree.Object, len(users))
+	for i, u := range users {
+		us[i] = iurtree.Object{ID: u.ID, Loc: geom.Point{X: u.X, Y: u.Y}, Doc: e.vectorize(u.Text)}
+	}
+	out, err := core.BichromaticRSTkNN(e.tree, us,
+		core.Query{Loc: geom.Point{X: x, Y: y}, Doc: e.vectorize(text)},
+		core.BichromaticOptions{K: k, Alpha: e.opt.Alpha, Sim: e.measure})
+	if err != nil {
+		return nil, err
+	}
+	return out.UserIDs, nil
+}
+
+// NaiveQuery answers the same reverse query by exhaustive scan — the
+// correctness oracle and the paper's comparison baseline. Exposed so
+// downstream users can sanity-check and benchmark on their own data.
+func (e *Engine) NaiveQuery(x, y float64, text string, k int) ([]int32, error) {
+	return baseline.Naive(e.objects, core.Query{Loc: geom.Point{X: x, Y: y}, Doc: e.vectorize(text)},
+		k, e.opt.Alpha, e.tree.MaxD(), e.measure)
+}
+
+// IndexStats describes the sealed index.
+type IndexStats struct {
+	Objects     int
+	Height      int
+	Nodes       int64 // stored node blobs
+	Pages       int64 // simulated disk pages
+	Bytes       int64
+	Clusters    int // 0 for IUR
+	BuildTime   time.Duration
+	VocabSize   int
+	Kind        IndexKind
+	MaxDistance float64
+}
+
+// Stats returns the index statistics.
+func (e *Engine) Stats() IndexStats {
+	return IndexStats{
+		Objects:     e.tree.Len(),
+		Height:      e.tree.Height(),
+		Nodes:       int64(e.store.Len()),
+		Pages:       e.store.TotalPages(),
+		Bytes:       e.store.TotalBytes(),
+		Clusters:    e.tree.NumClusters(),
+		BuildTime:   e.build,
+		VocabSize:   e.vocab.Size(),
+		Kind:        e.opt.Index,
+		MaxDistance: e.tree.MaxD(),
+	}
+}
+
+// Alpha returns the engine's spatial/textual weight.
+func (e *Engine) Alpha() float64 { return e.opt.Alpha }
+
+// Len returns the number of indexed objects.
+func (e *Engine) Len() int { return e.tree.Len() }
+
+// ObjectByID returns the indexed object's location and text vector, or an
+// error when the ID is unknown.
+func (e *Engine) ObjectByID(id int32) (x, y float64, doc vector.Vector, err error) {
+	i, ok := e.byID[id]
+	if !ok {
+		return 0, 0, vector.Vector{}, errors.New("rstknn: unknown object ID")
+	}
+	o := e.objects[i]
+	return o.Loc.X, o.Loc.Y, o.Doc, nil
+}
+
+// ResetIOStats zeroes the simulated I/O counters (e.g. to measure cold
+// queries after a build).
+func (e *Engine) ResetIOStats() { e.store.ResetStats() }
+
+// DropCache empties the buffer pool (if configured), simulating a cold
+// start.
+func (e *Engine) DropCache() { e.store.DropCache() }
