@@ -51,6 +51,7 @@ func BenchmarkF9Measures(b *testing.B)          { runExperiment(b, "F9") }
 func BenchmarkF10Profiles(b *testing.B)         { runExperiment(b, "F10") }
 func BenchmarkF11Ablation(b *testing.B)         { runExperiment(b, "F11") }
 func BenchmarkF12BufferPool(b *testing.B)       { runExperiment(b, "F12") }
+func BenchmarkF13Parallel(b *testing.B)         { runExperiment(b, "F13") }
 
 // ------------------------------------------------------------------
 // Micro-benchmarks of the hot paths.
@@ -175,6 +176,55 @@ func BenchmarkEngineBuildAndQuery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Query(50, 50, "sushi seafood", 10); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelQuery drives concurrent readers against one shared
+// Engine via b.RunParallel. On a multi-core machine, throughput should
+// scale past the sequential BenchmarkEngineBuildAndQuery because queries
+// only share-lock the store and charge I/O to per-query trackers.
+func BenchmarkParallelQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	objs := genRestaurants(rng, 2000)
+	eng, err := Build(objs, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	texts := []string{"sushi seafood", "noodles ramen", "pizza pasta", "steak grill"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			t := texts[i%len(texts)]
+			i++
+			if _, err := eng.Query(float64(10+i%80), float64(10+(i*7)%80), t, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchQuery measures the worker-pool batch API end to end.
+func BenchmarkBatchQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	objs := genRestaurants(rng, 2000)
+	eng, err := Build(objs, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]QueryRequest, 32)
+	for i := range reqs {
+		reqs[i] = QueryRequest{X: float64(10 + i*2), Y: float64(10 + i*2), Text: "sushi seafood", K: 10}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.BatchQuery(reqs, 0) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
 		}
 	}
 }

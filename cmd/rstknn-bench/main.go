@@ -33,12 +33,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rstknn-bench", flag.ContinueOnError)
 	var (
-		exps    = fs.String("exp", "all", "comma-separated experiment IDs (T1,T2,F1..F9) or 'all'")
-		scale   = fs.Float64("scale", 1.0, "dataset scale factor (1.0 = paper-shaped full run)")
-		queries = fs.Int("queries", 20, "queries averaged per data point")
-		seed    = fs.Int64("seed", 1, "dataset and query seed")
-		profile = fs.String("profile", "gn", "dataset profile: gn|sb|uniform")
-		list    = fs.Bool("list", false, "list experiments and exit")
+		exps     = fs.String("exp", "all", "comma-separated experiment IDs (T1,T2,F1..F9) or 'all'")
+		scale    = fs.Float64("scale", 1.0, "dataset scale factor (1.0 = paper-shaped full run)")
+		queries  = fs.Int("queries", 20, "queries averaged per data point")
+		seed     = fs.Int64("seed", 1, "dataset and query seed")
+		profile  = fs.String("profile", "gn", "dataset profile: gn|sb|uniform")
+		parallel = fs.Int("parallel", 0, "worker count for the parallel-throughput experiment (F13); 0 = GOMAXPROCS")
+		list     = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,11 +55,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := bench.Config{
-		Out:     out,
-		Scale:   *scale,
-		Queries: *queries,
-		Seed:    *seed,
-		Profile: p,
+		Out:         out,
+		Scale:       *scale,
+		Queries:     *queries,
+		Seed:        *seed,
+		Profile:     p,
+		Parallelism: *parallel,
 	}
 	fmt.Fprintf(out, "rstknn-bench: scale=%g queries=%d seed=%d profile=%s\n",
 		*scale, *queries, *seed, p)

@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -60,6 +62,7 @@ func run(args []string, out io.Writer) error {
 		topk     = fs.String("topk", "", `top-k query: "x,y,term term ..."`)
 		stats    = fs.Bool("stats", false, "print collection and index statistics")
 		check    = fs.Bool("check", false, "verify the reverse query against the naive oracle")
+		timeout  = fs.Duration("timeout", 0, "abort queries after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,6 +135,12 @@ func run(args []string, out io.Writer) error {
 	if *entropy {
 		strategy = core.RefineByEntropy
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	// 3. Answer queries.
 	if *query != "" {
@@ -139,20 +148,21 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		var tracker storage.Tracker
 		res, err := core.RSTkNN(tree, q, core.Options{
 			K: *k, Alpha: *alpha, Sim: sim, Strategy: strategy,
+			Ctx: ctx, Tracker: &tracker,
 		})
 		if err != nil {
 			return err
 		}
-		io := store.Stats()
 		fmt.Fprintf(out, "RSTkNN(k=%d, alpha=%g): %d objects would rank the query in their top-%d\n",
 			*k, *alpha, len(res.Results), *k)
 		for _, id := range res.Results {
 			fmt.Fprintf(out, "  object %d\n", id)
 		}
 		fmt.Fprintf(out, "cost: %d node reads, %d page accesses, %d exact sims, %d bound evals\n",
-			res.Metrics.NodesRead, io.PagesRead, res.Metrics.ExactSims, res.Metrics.BoundEvals)
+			res.Metrics.NodesRead, tracker.PagesRead(), res.Metrics.ExactSims, res.Metrics.BoundEvals)
 		if *check {
 			want, err := baseline.Naive(objs, q, *k, *alpha, tree.MaxD(), sim)
 			if err != nil {
@@ -172,7 +182,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		nbs, _, err := core.TopK(tree, q, core.TopKOptions{
-			K: *k, Alpha: *alpha, Sim: sim, Exclude: -1,
+			K: *k, Alpha: *alpha, Sim: sim, Exclude: -1, Ctx: ctx,
 		})
 		if err != nil {
 			return err
@@ -200,6 +210,9 @@ func parseQuery(s string, vocab *textual.Vocabulary) (core.Query, error) {
 	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
 	if err != nil {
 		return core.Query{}, fmt.Errorf("bad y in query %q: %w", s, err)
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return core.Query{}, fmt.Errorf("query location (%g, %g) must be finite", x, y)
 	}
 	w := make(map[vector.TermID]float64)
 	if len(parts) == 3 {

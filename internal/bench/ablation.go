@@ -89,16 +89,17 @@ func RunF11Ablation(cfg Config) error {
 	for _, v := range variants {
 		var agg measurement
 		var total time.Duration
-		store := tree.Store()
 		for _, q := range queries {
-			store.ResetStats()
+			var tracker storage.Tracker
+			opt := v.opt
+			opt.Tracker = &tracker
 			start := time.Now()
-			out, err := core.RSTkNN(tree, core.Query{Loc: q.Loc, Doc: q.Doc}, v.opt)
+			out, err := core.RSTkNN(tree, core.Query{Loc: q.Loc, Doc: q.Doc}, opt)
 			if err != nil {
 				return err
 			}
 			total += time.Since(start)
-			agg.Pages += float64(store.Stats().PagesRead)
+			agg.Pages += float64(tracker.PagesRead())
 			agg.Bounds += float64(out.Metrics.BoundEvals)
 			agg.Refines += float64(out.Metrics.Refinements)
 			agg.Results += float64(len(out.Results))
@@ -142,15 +143,14 @@ func RunF12BufferPool(cfg Config) error {
 		run := func() (pages, hits, reads float64, err error) {
 			var pg, ht, rd int64
 			for _, q := range queries {
-				store.ResetStats()
+				var tracker storage.Tracker
 				if _, err := core.RSTkNN(tree, core.Query{Loc: q.Loc, Doc: q.Doc},
-					core.Options{K: defaultK, Alpha: defaultAlpha}); err != nil {
+					core.Options{K: defaultK, Alpha: defaultAlpha, Tracker: &tracker}); err != nil {
 					return 0, 0, 0, err
 				}
-				st := store.Stats()
-				pg += st.PagesRead
-				ht += st.CacheHits
-				rd += st.Reads
+				pg += tracker.PagesRead()
+				ht += tracker.CacheHits()
+				rd += tracker.Reads()
 			}
 			qn := float64(len(queries))
 			return float64(pg) / qn, float64(ht) / qn, float64(rd) / qn, nil

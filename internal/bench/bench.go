@@ -44,6 +44,9 @@ type Config struct {
 	Seed int64
 	// Profile selects the dataset shape (default GN).
 	Profile dataset.Profile
+	// Parallelism is the worker count for the parallel-throughput
+	// experiment (F13); <= 0 defaults to runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -173,24 +176,25 @@ type measurement struct {
 	Candidates float64       // mean object-level candidates
 }
 
-// runQueries measures a built method over the query workload.
+// runQueries measures a built method over the query workload. Each query
+// runs with its own storage.Tracker, so the per-query I/O numbers do not
+// depend on resetting (or racing on) the store's global counters.
 func (bm *builtMethod) runQueries(queries []dataset.QueryObject, k int, alpha float64, sim vector.TextSim) (measurement, error) {
 	var agg measurement
 	var total time.Duration
 	n := bm.tree.Len()
-	store := bm.tree.Store()
 	for _, q := range queries {
-		store.ResetStats()
+		var tracker storage.Tracker
 		start := time.Now()
 		out, err := core.RSTkNN(bm.tree, core.Query{Loc: q.Loc, Doc: q.Doc}, core.Options{
 			K: k, Alpha: alpha, Sim: sim, Strategy: bm.strategy,
+			Tracker: &tracker,
 		})
 		if err != nil {
 			return agg, err
 		}
 		total += time.Since(start)
-		io := store.Stats()
-		agg.Pages += float64(io.PagesRead)
+		agg.Pages += float64(tracker.PagesRead())
 		agg.Nodes += float64(out.Metrics.NodesRead)
 		agg.Sims += float64(out.Metrics.ExactSims)
 		agg.Bounds += float64(out.Metrics.BoundEvals)

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"rstknn/internal/iurtree"
 	"rstknn/internal/pq"
+	"rstknn/internal/storage"
 	"rstknn/internal/vector"
 )
 
@@ -23,16 +25,17 @@ import (
 
 // CountExceeding returns min(limit, |{o : SimST(o, q) > threshold}|),
 // reading as little of the tree as the bound allows. Metrics report the
-// traversal work.
-func CountExceeding(t *iurtree.Tree, q Query, threshold float64, limit int, alpha float64, sim vector.TextSim) (int, Metrics, error) {
+// traversal work. Only opt.Alpha, opt.Sim, opt.Ctx, and opt.Tracker are
+// consulted; the count cutoff is the explicit limit parameter, not opt.K.
+func CountExceeding(t *iurtree.Tree, q Query, threshold float64, limit int, opt BichromaticOptions) (int, Metrics, error) {
 	var m Metrics
-	if alpha < 0 || alpha > 1 {
-		return 0, m, fmt.Errorf("core: Alpha must be in [0,1], got %g", alpha)
+	if opt.Alpha < 0 || opt.Alpha > 1 {
+		return 0, m, fmt.Errorf("core: Alpha must be in [0,1], got %g", opt.Alpha)
 	}
 	if limit <= 0 || t.Len() == 0 {
 		return 0, m, nil
 	}
-	sc := NewScorer(alpha, t.MaxD(), sim)
+	sc := NewScorer(opt.Alpha, t.MaxD(), opt.Sim)
 	frontier := pq.NewMax[iurtree.Entry]()
 	root := t.RootEntry()
 	if b := sc.queryBounds(sideOf(&root), &q); b.hi > threshold {
@@ -47,7 +50,10 @@ func CountExceeding(t *iurtree.Tree, q Query, threshold float64, limit int, alph
 			count++
 			continue
 		}
-		node, err := t.ReadNode(e.Child)
+		if err := checkCtx(opt.Ctx); err != nil {
+			return 0, m, err
+		}
+		node, err := t.ReadNodeTracked(e.Child, opt.Tracker)
 		if err != nil {
 			return 0, m, err
 		}
@@ -75,6 +81,11 @@ type BichromaticOptions struct {
 	K     int
 	Alpha float64
 	Sim   vector.TextSim
+	// Ctx, when non-nil, cancels the query: it is checked before every
+	// node read and between users.
+	Ctx context.Context
+	// Tracker, when non-nil, receives the query's simulated I/O charges.
+	Tracker *storage.Tracker
 }
 
 // BichromaticOutcome reports the influenced users and traversal totals.
@@ -98,9 +109,12 @@ func BichromaticRSTkNN(facilities *iurtree.Tree, users []iurtree.Object, q Query
 	sc := NewScorer(opt.Alpha, facilities.MaxD(), opt.Sim)
 	for i := range users {
 		u := &users[i]
+		if err := checkCtx(opt.Ctx); err != nil {
+			return nil, err
+		}
 		uq := Query{Loc: u.Loc, Doc: u.Doc}
 		s0 := sc.Exact(u.Loc, u.Doc, q.Loc, q.Doc)
-		better, m, err := CountExceeding(facilities, uq, s0, opt.K, opt.Alpha, opt.Sim)
+		better, m, err := CountExceeding(facilities, uq, s0, opt.K, opt)
 		if err != nil {
 			return nil, err
 		}

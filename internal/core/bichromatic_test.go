@@ -24,7 +24,7 @@ func TestCountExceedingMatchesBrute(t *testing.T) {
 				want++
 			}
 		}
-		got, _, err := core.CountExceeding(tree, q, threshold, len(objs)+1, 0.5, nil)
+		got, _, err := core.CountExceeding(tree, q, threshold, len(objs)+1, core.BichromaticOptions{Alpha: 0.5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +33,7 @@ func TestCountExceedingMatchesBrute(t *testing.T) {
 		}
 		// With a limit, the count caps.
 		if want > 2 {
-			capped, _, err := core.CountExceeding(tree, q, threshold, 2, 0.5, nil)
+			capped, _, err := core.CountExceeding(tree, q, threshold, 2, core.BichromaticOptions{Alpha: 0.5})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -46,18 +46,18 @@ func TestCountExceedingMatchesBrute(t *testing.T) {
 
 func TestCountExceedingEdges(t *testing.T) {
 	tree := buildTree(t, genObjects(rand.New(rand.NewSource(1)), 50, 10, 3), 0, false)
-	if n, _, err := core.CountExceeding(tree, core.Query{}, 0, 0, 0.5, nil); err != nil || n != 0 {
+	if n, _, err := core.CountExceeding(tree, core.Query{}, 0, 0, core.BichromaticOptions{Alpha: 0.5}); err != nil || n != 0 {
 		t.Errorf("limit 0: %d, %v", n, err)
 	}
-	if _, _, err := core.CountExceeding(tree, core.Query{}, 0, 1, 9, nil); err == nil {
+	if _, _, err := core.CountExceeding(tree, core.Query{}, 0, 1, core.BichromaticOptions{Alpha: 9}); err == nil {
 		t.Error("bad alpha should fail")
 	}
 	empty := buildTree(t, nil, 0, false)
-	if n, _, err := core.CountExceeding(empty, core.Query{}, 0, 5, 0.5, nil); err != nil || n != 0 {
+	if n, _, err := core.CountExceeding(empty, core.Query{}, 0, 5, core.BichromaticOptions{Alpha: 0.5}); err != nil || n != 0 {
 		t.Errorf("empty tree: %d, %v", n, err)
 	}
 	// Threshold above max similarity: nothing exceeds it.
-	if n, _, err := core.CountExceeding(tree, core.Query{}, 2, 5, 0.5, nil); err != nil || n != 0 {
+	if n, _, err := core.CountExceeding(tree, core.Query{}, 2, 5, core.BichromaticOptions{Alpha: 0.5}); err != nil || n != 0 {
 		t.Errorf("threshold 2: %d, %v", n, err)
 	}
 }

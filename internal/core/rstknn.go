@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -61,6 +62,23 @@ type Options struct {
 	// the DESIGN.md ablation; lazy (false) is strictly better in
 	// practice because pruned groups never pay for tight bounds.
 	EagerBounds bool
+	// Ctx, when non-nil, makes the query cancellable: it is checked
+	// before every node read (expansions and contributor refinements),
+	// and the search aborts with ctx.Err() once it is done.
+	Ctx context.Context
+	// Tracker is the query's execution context at the storage layer:
+	// when non-nil, every node read charges its simulated I/O here as
+	// well as on the store's global counters, so per-query cost stays
+	// exact while other queries run concurrently.
+	Tracker *storage.Tracker
+}
+
+// checkCtx returns the context's error, if a context is set and done.
+func checkCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Metrics reports the work one query performed. Simulated I/O is tracked
@@ -126,6 +144,9 @@ func RSTkNN(t *iurtree.Tree, q Query, opt Options) (*Outcome, error) {
 	if opt.Alpha < 0 || opt.Alpha > 1 {
 		return nil, fmt.Errorf("core: Alpha must be in [0,1], got %g", opt.Alpha)
 	}
+	if err := checkCtx(opt.Ctx); err != nil {
+		return nil, err
+	}
 	out := &Outcome{}
 	if t.Len() == 0 {
 		return out, nil
@@ -156,7 +177,10 @@ type searcher struct {
 }
 
 func (s *searcher) readNode(id storage.NodeID) (*iurtree.Node, error) {
-	n, err := s.tree.ReadNode(id)
+	if err := checkCtx(s.opt.Ctx); err != nil {
+		return nil, err
+	}
+	n, err := s.tree.ReadNodeTracked(id, s.opt.Tracker)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"rstknn/internal/iurtree"
 	"rstknn/internal/pq"
+	"rstknn/internal/storage"
 	"rstknn/internal/vector"
 )
 
@@ -24,6 +26,12 @@ type TopKOptions struct {
 	// indexed object's k-th NN among the *other* objects. Set to a
 	// negative value to exclude nothing.
 	Exclude int32
+	// Ctx, when non-nil, cancels the search: it is checked before every
+	// node read and the search aborts with ctx.Err().
+	Ctx context.Context
+	// Tracker, when non-nil, receives the query's simulated I/O charges
+	// for exact per-query accounting under concurrency.
+	Tracker *storage.Tracker
 }
 
 // TopK returns the k indexed objects most similar to the query under
@@ -62,7 +70,10 @@ func TopK(t *iurtree.Tree, q Query, opt TopKOptions) ([]Neighbor, Metrics, error
 			top.Offer(Neighbor{ID: e.ObjID, Sim: hi}, hi)
 			continue
 		}
-		node, err := t.ReadNode(e.Child)
+		if err := checkCtx(opt.Ctx); err != nil {
+			return nil, m, err
+		}
+		node, err := t.ReadNodeTracked(e.Child, opt.Tracker)
 		if err != nil {
 			return nil, m, err
 		}

@@ -104,6 +104,11 @@ type Config struct {
 
 // Tree is a sealed (read-only) IUR-tree or CIUR-tree over a simulated
 // disk. Build one with Build, or reopen a saved one with Open.
+//
+// A sealed tree is safe for concurrent readers: ReadNode/ReadNodeTracked,
+// Walk, and the accessor methods may be called from any number of
+// goroutines. Insert and Delete mutate the tree and must not run
+// concurrently with each other or with readers.
 type Tree struct {
 	store       storage.Blobs
 	rootID      storage.NodeID
@@ -112,7 +117,8 @@ type Tree struct {
 	size        int
 	space       geom.Rect
 	maxD        float64
-	numClusters int // 0 for plain IUR-trees
+	numClusters int        // 0 for plain IUR-trees
+	nodeCache   *nodeCache // nil unless SetNodeCache enabled it
 }
 
 // Build constructs the tree over the given objects and seals it to disk.
@@ -269,7 +275,42 @@ func summarize(n *Node, id storage.NodeID) Entry {
 // ReadNode fetches and decodes the node stored under id, charging
 // simulated I/O on the underlying store.
 func (t *Tree) ReadNode(id storage.NodeID) (*Node, error) {
-	blob, err := t.store.Get(id)
+	return t.ReadNodeTracked(id, nil)
+}
+
+// ReadNodeTracked is ReadNode with per-query attribution: the simulated
+// I/O is charged to tr (when non-nil) in addition to the store's global
+// counters. When the decoded-node cache is enabled a hit skips both the
+// page I/O and the deserialization, and is charged to the tracker as a
+// cache hit. The returned node is shared with other queries when the
+// cache is on — treat it as read-only.
+func (t *Tree) ReadNodeTracked(id storage.NodeID, tr *storage.Tracker) (*Node, error) {
+	if t.nodeCache != nil {
+		if n, ok := t.nodeCache.get(id); ok {
+			tr.ChargeCacheHit()
+			return n, nil
+		}
+	}
+	n, err := t.decodeFrom(id, tr)
+	if err != nil {
+		return nil, err
+	}
+	if t.nodeCache != nil {
+		t.nodeCache.put(id, n)
+	}
+	return n, nil
+}
+
+// readNodeFresh fetches and decodes a private copy of the node, bypassing
+// the decoded-node cache in both directions. The update paths use it so
+// the nodes they mutate in place are never shared with concurrent-reader
+// cache entries.
+func (t *Tree) readNodeFresh(id storage.NodeID) (*Node, error) {
+	return t.decodeFrom(id, nil)
+}
+
+func (t *Tree) decodeFrom(id storage.NodeID, tr *storage.Tracker) (*Node, error) {
+	blob, err := t.store.GetTracked(id, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -279,6 +320,27 @@ func (t *Tree) ReadNode(id storage.NodeID) (*Node, error) {
 	}
 	n.ID = id
 	return n, nil
+}
+
+// SetNodeCache enables (capacity > 0) or disables (capacity <= 0) an
+// in-memory LRU cache of up to capacity decoded nodes. Hot nodes then
+// skip the simulated page I/O and the per-read deserialization; hits are
+// charged to the reader's Tracker as cache hits. Because cache hits
+// bypass the storage layer, enable it for serving throughput, not when
+// reproducing the paper's cold I/O counts.
+func (t *Tree) SetNodeCache(capacity int) {
+	if capacity <= 0 {
+		t.nodeCache = nil
+		return
+	}
+	t.nodeCache = newNodeCache(capacity)
+}
+
+// invalidateNode drops a rewritten node from the decoded-node cache.
+func (t *Tree) invalidateNode(id storage.NodeID) {
+	if t.nodeCache != nil {
+		t.nodeCache.invalidate(id)
+	}
 }
 
 // RootID returns the NodeID of the root node.

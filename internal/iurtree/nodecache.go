@@ -1,0 +1,107 @@
+package iurtree
+
+import (
+	"container/list"
+	"sync"
+
+	"rstknn/internal/storage"
+)
+
+// nodeCache is an optional in-memory LRU cache of *decoded* nodes, sitting
+// above the storage layer: a hit skips both the simulated page I/O and the
+// deserialization work. Like the buffer pool it is sharded by NodeID and
+// every shard is independently locked, so concurrent queries do not
+// serialize on one mutex. Cached nodes are shared between queries and must
+// be treated as read-only; the tree's update paths read fresh copies and
+// invalidate the cache on every rewritten node.
+type nodeCache struct {
+	shards []nodeCacheShard
+	mask   uint32 // len(shards)-1; shard count is a power of two
+}
+
+type nodeCacheShard struct {
+	mu       sync.Mutex
+	capacity int        // max decoded nodes held by this shard
+	order    *list.List // front = most recent; values are *nodeCacheEntry
+	index    map[storage.NodeID]*list.Element
+}
+
+type nodeCacheEntry struct {
+	id   storage.NodeID
+	node *Node
+}
+
+const (
+	maxNodeCacheShards = 8
+	minNodesPerShard   = 16
+)
+
+func newNodeCache(capacity int) *nodeCache {
+	n := 1
+	for n < maxNodeCacheShards && capacity/(n*2) >= minNodesPerShard {
+		n *= 2
+	}
+	c := &nodeCache{shards: make([]nodeCacheShard, n), mask: uint32(n - 1)}
+	per := capacity / n
+	extra := capacity % n
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.capacity = per
+		if i < extra {
+			sh.capacity++
+		}
+		if sh.capacity < 1 {
+			sh.capacity = 1
+		}
+		sh.order = list.New()
+		sh.index = make(map[storage.NodeID]*list.Element)
+	}
+	return c
+}
+
+func (c *nodeCache) shardFor(id storage.NodeID) *nodeCacheShard {
+	return &c.shards[uint32(id)&c.mask]
+}
+
+func (c *nodeCache) get(id storage.NodeID) (*Node, bool) {
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.index[id]
+	if !ok {
+		return nil, false
+	}
+	sh.order.MoveToFront(el)
+	return el.Value.(*nodeCacheEntry).node, true
+}
+
+func (c *nodeCache) put(id storage.NodeID, n *Node) {
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.index[id]; ok {
+		el.Value.(*nodeCacheEntry).node = n
+		sh.order.MoveToFront(el)
+		return
+	}
+	el := sh.order.PushFront(&nodeCacheEntry{id: id, node: n})
+	sh.index[id] = el
+	for sh.order.Len() > sh.capacity {
+		back := sh.order.Back()
+		ent := back.Value.(*nodeCacheEntry)
+		sh.order.Remove(back)
+		delete(sh.index, ent.id)
+	}
+}
+
+// invalidate drops the cached copy of one node (after its blob was
+// rewritten by an update).
+func (c *nodeCache) invalidate(id storage.NodeID) {
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.index[id]; ok {
+		sh.order.Remove(el)
+		delete(sh.index, id)
+	}
+}

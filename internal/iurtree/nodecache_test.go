@@ -1,0 +1,105 @@
+package iurtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"rstknn/internal/storage"
+)
+
+func TestNodeCacheSkipsIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	objs := randObjects(rng, 300, 20)
+	store := storage.NewStore()
+	tr, err := Build(objs, Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetNodeCache(128)
+	store.ResetStats()
+
+	var t1 storage.Tracker
+	if _, err := tr.ReadNodeTracked(tr.RootID(), &t1); err != nil {
+		t.Fatal(err)
+	}
+	if t1.Reads() != 1 || t1.CacheHits() != 0 {
+		t.Fatalf("cold read: tracker %+v", t1.Stats())
+	}
+
+	var t2 storage.Tracker
+	n, err := tr.ReadNodeTracked(tr.RootID(), &t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == nil {
+		t.Fatal("cached read returned nil node")
+	}
+	if t2.Reads() != 0 || t2.CacheHits() != 1 {
+		t.Fatalf("warm read: tracker %+v, want a cache hit and no I/O", t2.Stats())
+	}
+	// The store never saw the second read at all.
+	if st := store.Stats(); st.Reads != 1 {
+		t.Fatalf("store saw %d reads, want 1", st.Reads)
+	}
+}
+
+func TestNodeCacheDisabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	objs := randObjects(rng, 100, 20)
+	store := storage.NewStore()
+	tr, err := Build(objs, Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetNodeCache(64)
+	tr.SetNodeCache(0) // disable again
+	store.ResetStats()
+	var tk storage.Tracker
+	tr.ReadNodeTracked(tr.RootID(), &tk)
+	tr.ReadNodeTracked(tr.RootID(), &tk)
+	if tk.Reads() != 2 || tk.CacheHits() != 0 {
+		t.Fatalf("with cache disabled: tracker %+v, want 2 plain reads", tk.Stats())
+	}
+}
+
+// TestNodeCacheInvalidatedByUpdates ensures Insert/Delete never leave a
+// stale decoded node visible: after each mutation the tree must satisfy
+// its invariants when read back through the cache.
+func TestNodeCacheInvalidatedByUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	objs := randObjects(rng, 120, 20)
+	store := storage.NewStore()
+	tr, err := Build(objs[:100], Config{Store: store, Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetNodeCache(256)
+
+	// Warm the cache over the whole tree.
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs[100:] {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after Insert(%d): %v", o.ID, err)
+		}
+	}
+	for _, o := range objs[:20] {
+		ok, err := tr.Delete(o.ID, o.Loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("Delete(%d) found nothing", o.ID)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after Delete(%d): %v", o.ID, err)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+}

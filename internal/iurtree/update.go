@@ -41,6 +41,7 @@ func (t *Tree) Insert(o Object) error {
 		if err := t.store.Update(t.rootID, encodeNode(leaf)); err != nil {
 			return err
 		}
+		t.invalidateNode(t.rootID)
 		t.rootEntry = summarize(leaf, t.rootID)
 		t.size = 1
 		t.height = 1
@@ -58,7 +59,7 @@ func (t *Tree) Insert(o Object) error {
 	var path []step
 	id := t.rootID
 	for {
-		node, err := t.ReadNode(id)
+		node, err := t.readNodeFresh(id)
 		if err != nil {
 			return err
 		}
@@ -122,6 +123,7 @@ func (t *Tree) writeNode(id storage.NodeID, node *Node) (Entry, *Entry, error) {
 		if err := t.store.Update(id, encodeNode(node)); err != nil {
 			return Entry{}, nil, err
 		}
+		t.invalidateNode(id)
 		return summarize(node, id), nil, nil
 	}
 	left, right := splitEntries(node.Entries)
@@ -130,6 +132,7 @@ func (t *Tree) writeNode(id storage.NodeID, node *Node) (Entry, *Entry, error) {
 	if err := t.store.Update(id, encodeNode(node)); err != nil {
 		return Entry{}, nil, err
 	}
+	t.invalidateNode(id)
 	sibID := t.store.Put(encodeNode(sibling))
 	se := summarize(sibling, sibID)
 	return summarize(node, id), &se, nil
@@ -214,7 +217,7 @@ func (t *Tree) Delete(id int32, loc geom.Point) (bool, error) {
 	}
 	t.size--
 	// Refresh the root summary.
-	rootNode, err := t.ReadNode(t.rootID)
+	rootNode, err := t.readNodeFresh(t.rootID)
 	if err != nil {
 		return false, err
 	}
@@ -222,7 +225,7 @@ func (t *Tree) Delete(id int32, loc geom.Point) (bool, error) {
 	for !rootNode.Leaf && len(rootNode.Entries) == 1 {
 		t.rootID = rootNode.Entries[0].Child
 		t.height--
-		rootNode, err = t.ReadNode(t.rootID)
+		rootNode, err = t.readNodeFresh(t.rootID)
 		if err != nil {
 			return false, err
 		}
@@ -234,7 +237,7 @@ func (t *Tree) Delete(id int32, loc geom.Point) (bool, error) {
 // deleteRec removes the object below node id. It returns whether it was
 // found and whether the node is now empty (so the parent unlinks it).
 func (t *Tree) deleteRec(nid storage.NodeID, id int32, loc geom.Point) (found, empty bool, err error) {
-	node, err := t.ReadNode(nid)
+	node, err := t.readNodeFresh(nid)
 	if err != nil {
 		return false, false, err
 	}
@@ -245,6 +248,7 @@ func (t *Tree) deleteRec(nid storage.NodeID, id int32, loc geom.Point) (found, e
 				if err := t.store.Update(nid, encodeNode(node)); err != nil {
 					return false, false, err
 				}
+				t.invalidateNode(nid)
 				return true, len(node.Entries) == 0, nil
 			}
 		}
@@ -264,7 +268,7 @@ func (t *Tree) deleteRec(nid storage.NodeID, id int32, loc geom.Point) (found, e
 		if childEmpty {
 			node.Entries = append(node.Entries[:i], node.Entries[i+1:]...)
 		} else {
-			childNode, err := t.ReadNode(node.Entries[i].Child)
+			childNode, err := t.readNodeFresh(node.Entries[i].Child)
 			if err != nil {
 				return false, false, err
 			}
@@ -273,6 +277,7 @@ func (t *Tree) deleteRec(nid storage.NodeID, id int32, loc geom.Point) (found, e
 		if err := t.store.Update(nid, encodeNode(node)); err != nil {
 			return false, false, err
 		}
+		t.invalidateNode(nid)
 		return true, len(node.Entries) == 0, nil
 	}
 	return false, false, nil

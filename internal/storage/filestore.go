@@ -106,24 +106,24 @@ func (fs *FileStore) Path() string { return fs.path }
 
 // Len returns the number of stored blobs.
 func (fs *FileStore) Len() int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return len(fs.offsets)
 }
 
 // Put appends a new blob and returns its NodeID.
 func (fs *FileStore) Put(data []byte) NodeID {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	id := NodeID(len(fs.offsets))
 	if err := fs.append(id, data); err != nil {
 		// The in-memory Store's Put cannot fail; keep the signature and
 		// surface the failure at the next read instead.
 		fs.offsets = append(fs.offsets, recordRef{off: -1})
+		fs.mu.Unlock()
 		return id
 	}
-	fs.stats.Writes++
-	fs.stats.PagesWritten += int64(fs.pagesFor(len(data)))
+	fs.mu.Unlock()
+	fs.stats.chargeWrite(int64(fs.pagesFor(len(data))))
 	if fs.cache != nil {
 		fs.cache.put(id, cloneBytes(data), fs.pagesFor(len(data)))
 	}
@@ -133,8 +133,8 @@ func (fs *FileStore) Put(data []byte) NodeID {
 // Update replaces the blob stored under id by appending a fresh record.
 func (fs *FileStore) Update(id NodeID, data []byte) error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if int(id) < 0 || int(id) >= len(fs.offsets) {
+		fs.mu.Unlock()
 		return fmt.Errorf("storage: update of unknown node %d", id)
 	}
 	// append overwrites fs.offsets[id] only on success, so a failed
@@ -142,10 +142,11 @@ func (fs *FileStore) Update(id NodeID, data []byte) error {
 	prev := fs.offsets[id]
 	if err := fs.append(id, data); err != nil {
 		fs.offsets[id] = prev
+		fs.mu.Unlock()
 		return err
 	}
-	fs.stats.Writes++
-	fs.stats.PagesWritten += int64(fs.pagesFor(len(data)))
+	fs.mu.Unlock()
+	fs.stats.chargeWrite(int64(fs.pagesFor(len(data))))
 	if fs.cache != nil {
 		fs.cache.put(id, cloneBytes(data), fs.pagesFor(len(data)))
 	}
@@ -179,19 +180,26 @@ func (fs *FileStore) append(id NodeID, data []byte) error {
 
 // Get returns the blob stored under id, charging simulated I/O unless the
 // buffer pool holds it.
-func (fs *FileStore) Get(id NodeID) ([]byte, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+func (fs *FileStore) Get(id NodeID) ([]byte, error) { return fs.GetTracked(id, nil) }
+
+// GetTracked is Get with per-query attribution: the charge lands on the
+// global counters and, when tr is non-nil, on the caller's tracker.
+// os.File.ReadAt is safe for concurrent use, so readers only share-lock
+// the offset index.
+func (fs *FileStore) GetTracked(id NodeID, tr *Tracker) ([]byte, error) {
+	fs.mu.RLock()
 	if int(id) < 0 || int(id) >= len(fs.offsets) {
+		fs.mu.RUnlock()
 		return nil, fmt.Errorf("storage: read of unknown node %d", id)
 	}
+	ref := fs.offsets[id]
+	fs.mu.RUnlock()
 	if fs.cache != nil {
 		if b, ok := fs.cache.get(id); ok {
-			fs.stats.CacheHits++
+			fs.stats.chargeHit(tr)
 			return b, nil
 		}
 	}
-	ref := fs.offsets[id]
 	if ref.off < 0 {
 		return nil, fmt.Errorf("storage: node %d has no durable record (failed write?)", id)
 	}
@@ -199,8 +207,7 @@ func (fs *FileStore) Get(id NodeID) ([]byte, error) {
 	if _, err := fs.f.ReadAt(buf, ref.off); err != nil {
 		return nil, fmt.Errorf("storage: reading node %d: %w", id, err)
 	}
-	fs.stats.Reads++
-	fs.stats.PagesRead += int64(fs.pagesFor(len(buf)))
+	fs.stats.chargeRead(int64(fs.pagesFor(len(buf))), tr)
 	if fs.cache != nil {
 		fs.cache.put(id, buf, fs.pagesFor(len(buf)))
 	}
@@ -210,8 +217,8 @@ func (fs *FileStore) Get(id NodeID) ([]byte, error) {
 // TotalPages returns the live page footprint (superseded records are not
 // counted; see Compact).
 func (fs *FileStore) TotalPages() int64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	var n int64
 	for _, r := range fs.offsets {
 		n += int64(fs.pagesFor(int(r.size)))
@@ -221,8 +228,8 @@ func (fs *FileStore) TotalPages() int64 {
 
 // TotalBytes returns the live payload bytes.
 func (fs *FileStore) TotalBytes() int64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	var n int64
 	for _, r := range fs.offsets {
 		n += int64(r.size)

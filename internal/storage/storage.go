@@ -7,13 +7,18 @@
 // measured.
 //
 // Blobs are node-sized byte slices produced by the trees' serializers.
-// The store is safe for concurrent use.
+// The store is safe for concurrent use: reads take a shared lock, the
+// global I/O counters are atomics, and the buffer pool is sharded by
+// NodeID so concurrent queries do not serialize on one cache mutex.
+// Per-query cost attribution goes through a Tracker passed to GetTracked;
+// the global counters keep index-wide totals.
 package storage
 
 import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize matches the 4 KiB page used throughout the literature.
@@ -50,7 +55,9 @@ func (s Stats) Add(o Stats) Stats {
 	}
 }
 
-// Sub returns the difference s - o; useful for measuring one query.
+// Sub returns the difference s - o. Note that deltas of the global
+// counters are NOT a safe way to measure one query under concurrency —
+// use a Tracker for per-query attribution.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
 		Reads:        s.Reads - o.Reads,
@@ -61,9 +68,130 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// Tracker is the per-query execution context of the storage layer: every
+// tracked read charges its simulated I/O here, so one query's cost can be
+// measured exactly while other queries run against the same store. The
+// zero value is ready to use. All methods are safe for concurrent use and
+// nil-receiver safe (a nil tracker charges nothing).
+type Tracker struct {
+	reads     atomic.Int64
+	pagesRead atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// ChargeRead records one read transferring the given number of pages.
+func (t *Tracker) ChargeRead(pages int64) {
+	if t == nil {
+		return
+	}
+	t.reads.Add(1)
+	t.pagesRead.Add(pages)
+}
+
+// ChargeCacheHit records one read served from a cache.
+func (t *Tracker) ChargeCacheHit() {
+	if t == nil {
+		return
+	}
+	t.cacheHits.Add(1)
+}
+
+// Reads returns the number of reads that missed every cache.
+func (t *Tracker) Reads() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.reads.Load()
+}
+
+// PagesRead returns the pages transferred by the tracked reads.
+func (t *Tracker) PagesRead() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.pagesRead.Load()
+}
+
+// CacheHits returns the reads served from a cache.
+func (t *Tracker) CacheHits() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.cacheHits.Load()
+}
+
+// Stats returns the tracker's counters as a Stats snapshot (write
+// counters are zero: trackers attribute query-time reads only).
+func (t *Tracker) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	return Stats{Reads: t.Reads(), PagesRead: t.PagesRead(), CacheHits: t.CacheHits()}
+}
+
+// Reset zeroes the tracker so it can be reused for another query.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.reads.Store(0)
+	t.pagesRead.Store(0)
+	t.cacheHits.Store(0)
+}
+
+// counters are the store-global I/O totals, atomics so concurrent readers
+// never contend on a stats mutex.
+type counters struct {
+	reads        atomic.Int64
+	pagesRead    atomic.Int64
+	cacheHits    atomic.Int64
+	writes       atomic.Int64
+	pagesWritten atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Reads:        c.reads.Load(),
+		PagesRead:    c.pagesRead.Load(),
+		CacheHits:    c.cacheHits.Load(),
+		Writes:       c.writes.Load(),
+		PagesWritten: c.pagesWritten.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.reads.Store(0)
+	c.pagesRead.Store(0)
+	c.cacheHits.Store(0)
+	c.writes.Store(0)
+	c.pagesWritten.Store(0)
+}
+
+// chargeRead records a cache-missing read on the global counters and the
+// tracker (if any).
+func (c *counters) chargeRead(pages int64, t *Tracker) {
+	c.reads.Add(1)
+	c.pagesRead.Add(pages)
+	t.ChargeRead(pages)
+}
+
+// chargeHit records a buffer-pool hit on the global counters and the
+// tracker (if any).
+func (c *counters) chargeHit(t *Tracker) {
+	c.cacheHits.Add(1)
+	t.ChargeCacheHit()
+}
+
+func (c *counters) chargeWrite(pages int64) {
+	c.writes.Add(1)
+	c.pagesWritten.Add(pages)
+}
+
 // Blobs is the storage abstraction the index layers build on: a blob
 // store with simulated-I/O accounting. Two implementations exist: the
-// in-memory Store and the persistent FileStore.
+// in-memory Store and the persistent FileStore. Both are safe for
+// concurrent readers; writes (Put/Update) must not race with each other
+// but may run against a quiescent store only.
 type Blobs interface {
 	// Put stores a new blob and returns its NodeID.
 	Put(data []byte) NodeID
@@ -72,6 +200,9 @@ type Blobs interface {
 	// Get returns the blob stored under id, charging simulated I/O
 	// unless a buffer pool holds it. The returned slice is read-only.
 	Get(id NodeID) ([]byte, error)
+	// GetTracked is Get with per-query attribution: the simulated I/O is
+	// charged to tr (when non-nil) in addition to the global counters.
+	GetTracked(id NodeID, tr *Tracker) ([]byte, error)
 	// Stats returns a snapshot of the I/O counters.
 	Stats() Stats
 	// ResetStats zeroes the I/O counters.
@@ -90,11 +221,11 @@ type Blobs interface {
 
 // Store is a simulated disk. The zero value is not usable; call NewStore.
 type Store struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // guards blobs (Store) / offsets+file (FileStore)
 	pageSize int
 	blobs    [][]byte
-	stats    Stats
-	cache    *lru // nil when no buffer pool is configured
+	stats    counters
+	cache    *pool // nil when no buffer pool is configured
 }
 
 // Option configures a Store.
@@ -110,10 +241,13 @@ func WithPageSize(bytes int) Option {
 
 // WithBufferPool enables an LRU buffer pool holding up to capacityPages
 // pages worth of blobs. Reads served from the pool cost no simulated I/O.
+// Large pools are sharded by NodeID so concurrent readers do not contend
+// on one mutex; small pools stay single-sharded and keep exact global LRU
+// order.
 func WithBufferPool(capacityPages int) Option {
 	return func(s *Store) {
 		if capacityPages > 0 {
-			s.cache = newLRU(capacityPages)
+			s.cache = newPool(capacityPages)
 		}
 	}
 }
@@ -132,16 +266,16 @@ func (s *Store) PageSize() int { return s.pageSize }
 
 // Len returns the number of stored blobs.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.blobs)
 }
 
 // TotalPages returns the total page footprint of all stored blobs — the
 // simulated index size on disk.
 func (s *Store) TotalPages() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var n int64
 	for _, b := range s.blobs {
 		n += int64(s.pagesFor(len(b)))
@@ -151,8 +285,8 @@ func (s *Store) TotalPages() int64 {
 
 // TotalBytes returns the summed blob sizes.
 func (s *Store) TotalBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var n int64
 	for _, b := range s.blobs {
 		n += int64(len(b))
@@ -170,13 +304,13 @@ func (s *Store) pagesFor(size int) int {
 // Put stores a new blob and returns its NodeID. The blob is copied.
 func (s *Store) Put(data []byte) NodeID {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	id := NodeID(len(s.blobs))
 	s.blobs = append(s.blobs, cloneBytes(data))
-	s.stats.Writes++
-	s.stats.PagesWritten += int64(s.pagesFor(len(data)))
+	b := s.blobs[id]
+	s.mu.Unlock()
+	s.stats.chargeWrite(int64(s.pagesFor(len(data))))
 	if s.cache != nil {
-		s.cache.put(id, s.blobs[id], s.pagesFor(len(data)))
+		s.cache.put(id, b, s.pagesFor(len(data)))
 	}
 	return id
 }
@@ -184,61 +318,57 @@ func (s *Store) Put(data []byte) NodeID {
 // Update replaces the blob stored under id. The blob is copied.
 func (s *Store) Update(id NodeID, data []byte) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if int(id) < 0 || int(id) >= len(s.blobs) {
+		s.mu.Unlock()
 		return fmt.Errorf("storage: update of unknown node %d", id)
 	}
 	s.blobs[id] = cloneBytes(data)
-	s.stats.Writes++
-	s.stats.PagesWritten += int64(s.pagesFor(len(data)))
+	b := s.blobs[id]
+	s.mu.Unlock()
+	s.stats.chargeWrite(int64(s.pagesFor(len(data))))
 	if s.cache != nil {
-		s.cache.put(id, s.blobs[id], s.pagesFor(len(data)))
+		s.cache.put(id, b, s.pagesFor(len(data)))
 	}
 	return nil
 }
 
 // Get returns the blob stored under id, charging simulated I/O unless the
 // buffer pool holds it. The returned slice must not be modified.
-func (s *Store) Get(id NodeID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Store) Get(id NodeID) ([]byte, error) { return s.GetTracked(id, nil) }
+
+// GetTracked is Get with per-query attribution: the charge lands on the
+// global counters and, when tr is non-nil, on the caller's tracker.
+func (s *Store) GetTracked(id NodeID, tr *Tracker) ([]byte, error) {
+	s.mu.RLock()
 	if int(id) < 0 || int(id) >= len(s.blobs) {
+		s.mu.RUnlock()
 		return nil, fmt.Errorf("storage: read of unknown node %d", id)
 	}
+	b := s.blobs[id]
+	s.mu.RUnlock()
 	if s.cache != nil {
-		if b, ok := s.cache.get(id); ok {
-			s.stats.CacheHits++
-			return b, nil
+		if cached, ok := s.cache.get(id); ok {
+			s.stats.chargeHit(tr)
+			return cached, nil
 		}
 	}
-	b := s.blobs[id]
-	s.stats.Reads++
-	s.stats.PagesRead += int64(s.pagesFor(len(b)))
+	pages := s.pagesFor(len(b))
+	s.stats.chargeRead(int64(pages), tr)
 	if s.cache != nil {
-		s.cache.put(id, b, s.pagesFor(len(b)))
+		s.cache.put(id, b, pages)
 	}
 	return b, nil
 }
 
 // Stats returns a snapshot of the I/O counters.
-func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+func (s *Store) Stats() Stats { return s.stats.snapshot() }
 
 // ResetStats zeroes the I/O counters (e.g. after index construction, so
 // query measurements start clean).
-func (s *Store) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = Stats{}
-}
+func (s *Store) ResetStats() { s.stats.reset() }
 
 // DropCache empties the buffer pool, simulating a cold start.
 func (s *Store) DropCache() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.cache != nil {
 		s.cache.clear()
 	}
@@ -250,7 +380,80 @@ func cloneBytes(b []byte) []byte {
 	return out
 }
 
-// lru is a page-budgeted LRU cache of blobs.
+// ------------------------------------------------------------------
+// Sharded buffer pool
+
+const (
+	// maxPoolShards bounds the shard count of a buffer pool.
+	maxPoolShards = 16
+	// minShardPages is the smallest per-shard page budget worth sharding
+	// for: pools below 2*minShardPages stay single-sharded, preserving
+	// exact global LRU semantics for tiny pools.
+	minShardPages = 64
+)
+
+// pool is a buffer pool of blobs, split into independently locked LRU
+// shards keyed by NodeID so concurrent readers touch disjoint mutexes.
+type pool struct {
+	shards []poolShard
+	mask   uint32 // len(shards)-1; shard count is a power of two
+}
+
+type poolShard struct {
+	mu  sync.Mutex
+	lru *lru
+}
+
+func newPool(capacityPages int) *pool {
+	n := 1
+	for n < maxPoolShards && capacityPages/(n*2) >= minShardPages {
+		n *= 2
+	}
+	p := &pool{shards: make([]poolShard, n), mask: uint32(n - 1)}
+	per := capacityPages / n
+	extra := capacityPages % n
+	for i := range p.shards {
+		c := per
+		if i < extra {
+			c++
+		}
+		p.shards[i].lru = newLRU(c)
+	}
+	return p
+}
+
+func (p *pool) shardFor(id NodeID) *poolShard {
+	return &p.shards[uint32(id)&p.mask]
+}
+
+func (p *pool) get(id NodeID) ([]byte, bool) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	b, ok := sh.lru.get(id)
+	sh.mu.Unlock()
+	return b, ok
+}
+
+func (p *pool) put(id NodeID, data []byte, pages int) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	sh.lru.put(id, data, pages)
+	sh.mu.Unlock()
+}
+
+func (p *pool) clear() {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.lru.clear()
+		sh.mu.Unlock()
+	}
+}
+
+// ------------------------------------------------------------------
+// LRU shard
+
+// lru is a page-budgeted LRU cache of blobs. Callers synchronize.
 type lru struct {
 	capacity int // in pages
 	used     int
@@ -291,7 +494,7 @@ func (c *lru) put(id NodeID, data []byte, pages int) {
 		return
 	}
 	if pages > c.capacity {
-		return // blob larger than the whole pool: never cached
+		return // blob larger than the whole shard: never cached
 	}
 	el := c.order.PushFront(&lruEntry{id: id, data: data, pages: pages})
 	c.index[id] = el

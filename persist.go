@@ -149,6 +149,9 @@ func Open(dir string) (*Engine, error) {
 		fs.Close()
 		return nil, err
 	}
+	if meta.Options.NodeCache > 0 {
+		tree.SetNodeCache(meta.Options.NodeCache)
+	}
 	fs.ResetStats()
 
 	scheme, err := textual.SchemeByName(meta.Options.Weighting)

@@ -28,8 +28,13 @@
 package rstknn
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rstknn/internal/baseline"
@@ -103,7 +108,15 @@ type Options struct {
 	// PageSize overrides the simulated 4 KiB disk page.
 	PageSize int
 	// BufferPoolPages enables an LRU buffer pool of that many pages.
+	// Large pools are sharded by node ID so concurrent queries do not
+	// contend on one cache mutex.
 	BufferPoolPages int
+	// NodeCache enables an in-memory cache of up to that many decoded
+	// tree nodes, shared by all queries: hot nodes skip both the
+	// simulated page I/O and the per-read deserialization (hits count as
+	// CacheHits in QueryStats). Enable it for serving throughput; leave
+	// it off to reproduce the paper's cold I/O counts.
+	NodeCache int
 	// FanoutMin/FanoutMax override the R-tree fan-out.
 	FanoutMin, FanoutMax int
 	// Seed fixes clustering randomness.
@@ -140,6 +153,14 @@ func (o *Options) withDefaults() (Options, error) {
 }
 
 // Engine is a sealed RSTkNN index over one object collection.
+//
+// A built (or reopened) Engine is safe for any number of concurrent
+// readers: Query, QueryVector, QueryByID, TopK, Influence, NaiveQuery,
+// BatchQuery, their Ctx variants, and the stats accessors may all run
+// from multiple goroutines against the same Engine. Each query charges
+// its simulated I/O to its own storage.Tracker, so the QueryStats it
+// returns are exact even under concurrent load. Build, Save, and Open
+// are not concurrent-safe with anything else on the same Engine.
 type Engine struct {
 	opt     Options
 	scheme  textual.Scheme
@@ -209,6 +230,9 @@ func Build(objects []Object, opt Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if resolved.NodeCache > 0 {
+		tree.SetNodeCache(resolved.NodeCache)
+	}
 	e.tree = tree
 	e.build = time.Since(start)
 	return e, nil
@@ -237,7 +261,10 @@ type Result struct {
 }
 
 // QueryStats describes the cost of one query under the simulated I/O
-// model (one node read = ceil(nodeBytes/pageSize) page accesses).
+// model (one node read = ceil(nodeBytes/pageSize) page accesses). The
+// I/O counters come from the query's own execution tracker — never from
+// deltas of store-global counters — so they are exact even when many
+// queries run concurrently.
 type QueryStats struct {
 	Duration      time.Duration
 	NodesRead     int
@@ -251,20 +278,51 @@ type QueryStats struct {
 	Refinements   int
 }
 
+// validateQuery rejects the inputs that would otherwise give undefined
+// behavior: non-positive k and NaN/Inf coordinates.
+func validateQuery(x, y float64, k int) error {
+	if k <= 0 {
+		return fmt.Errorf("rstknn: k must be positive, got %d", k)
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return fmt.Errorf("rstknn: query location (%g, %g) must be finite", x, y)
+	}
+	return nil
+}
+
 // Query answers the RSTkNN query for a prospective object at (x, y) with
 // the given text: which indexed objects would rank it within their top-k?
 func (e *Engine) Query(x, y float64, text string, k int) (*Result, error) {
-	return e.QueryVector(x, y, e.vectorize(text), k)
+	return e.QueryCtx(context.Background(), x, y, text, k)
+}
+
+// QueryCtx is Query with cancellation: the context is checked before
+// every node read and the query aborts with ctx.Err() once it is done.
+func (e *Engine) QueryCtx(ctx context.Context, x, y float64, text string, k int) (*Result, error) {
+	if err := validateQuery(x, y, k); err != nil {
+		return nil, err
+	}
+	return e.QueryVectorCtx(ctx, x, y, e.vectorize(text), k)
 }
 
 // QueryVector is Query with a pre-built term vector (advanced use: the
 // vector must be weighted against this engine's vocabulary).
 func (e *Engine) QueryVector(x, y float64, doc vector.Vector, k int) (*Result, error) {
+	return e.QueryVectorCtx(context.Background(), x, y, doc, k)
+}
+
+// QueryVectorCtx is QueryVector with cancellation.
+func (e *Engine) QueryVectorCtx(ctx context.Context, x, y float64, doc vector.Vector, k int) (*Result, error) {
+	if err := validateQuery(x, y, k); err != nil {
+		return nil, err
+	}
 	strategy := core.RefineByMaxUpper
 	if e.opt.EntropyRefinement {
 		strategy = core.RefineByEntropy
 	}
-	before := e.store.Stats()
+	// The tracker is this query's execution context: all simulated I/O
+	// of this query — and only this query — lands on it.
+	var tracker storage.Tracker
 	start := time.Now()
 	out, err := core.RSTkNN(e.tree, core.Query{Loc: geom.Point{X: x, Y: y}, Doc: doc}, core.Options{
 		K:           k,
@@ -272,19 +330,19 @@ func (e *Engine) QueryVector(x, y float64, doc vector.Vector, k int) (*Result, e
 		Sim:         e.measure,
 		Strategy:    strategy,
 		GroupRefine: e.opt.GroupRefine,
+		Ctx:         ctx,
+		Tracker:     &tracker,
 	})
 	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
-	io := e.store.Stats().Sub(before)
 	return &Result{
 		IDs: out.Results,
 		Stats: QueryStats{
-			Duration:      elapsed,
+			Duration:      time.Since(start),
 			NodesRead:     out.Metrics.NodesRead,
-			PageAccesses:  io.PagesRead,
-			CacheHits:     io.CacheHits,
+			PageAccesses:  tracker.PagesRead(),
+			CacheHits:     tracker.CacheHits(),
 			ExactSims:     out.Metrics.ExactSims,
 			BoundEvals:    out.Metrics.BoundEvals,
 			GroupPruned:   out.Metrics.GroupPruned,
@@ -300,12 +358,17 @@ func (e *Engine) QueryVector(x, y float64, doc vector.Vector, k int) (*Result, e
 // top-k? The object itself (which trivially ranks the query, similarity
 // 1) is excluded from the result.
 func (e *Engine) QueryByID(id int32, k int) (*Result, error) {
+	return e.QueryByIDCtx(context.Background(), id, k)
+}
+
+// QueryByIDCtx is QueryByID with cancellation.
+func (e *Engine) QueryByIDCtx(ctx context.Context, id int32, k int) (*Result, error) {
 	i, ok := e.byID[id]
 	if !ok {
 		return nil, fmt.Errorf("rstknn: unknown object ID %d", id)
 	}
 	o := e.objects[i]
-	res, err := e.QueryVector(o.Loc.X, o.Loc.Y, o.Doc, k)
+	res, err := e.QueryVectorCtx(ctx, o.Loc.X, o.Loc.Y, o.Doc, k)
 	if err != nil {
 		return nil, err
 	}
@@ -322,8 +385,16 @@ func (e *Engine) QueryByID(id int32, k int) (*Result, error) {
 // TopK returns the k indexed objects most similar to the given location
 // and text, by descending similarity.
 func (e *Engine) TopK(x, y float64, text string, k int) ([]Neighbor, error) {
+	return e.TopKCtx(context.Background(), x, y, text, k)
+}
+
+// TopKCtx is TopK with cancellation.
+func (e *Engine) TopKCtx(ctx context.Context, x, y float64, text string, k int) ([]Neighbor, error) {
+	if err := validateQuery(x, y, k); err != nil {
+		return nil, err
+	}
 	nbs, _, err := core.TopK(e.tree, core.Query{Loc: geom.Point{X: x, Y: y}, Doc: e.vectorize(text)},
-		core.TopKOptions{K: k, Alpha: e.opt.Alpha, Sim: e.measure, Exclude: -1})
+		core.TopKOptions{K: k, Alpha: e.opt.Alpha, Sim: e.measure, Exclude: -1, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -345,17 +416,87 @@ type Neighbor struct {
 // top-k among this engine's indexed objects (treated as the facility
 // set)? User text is weighted against the engine's corpus.
 func (e *Engine) Influence(users []Object, x, y float64, text string, k int) ([]int32, error) {
+	return e.InfluenceCtx(context.Background(), users, x, y, text, k)
+}
+
+// InfluenceCtx is Influence with cancellation.
+func (e *Engine) InfluenceCtx(ctx context.Context, users []Object, x, y float64, text string, k int) ([]int32, error) {
+	if err := validateQuery(x, y, k); err != nil {
+		return nil, err
+	}
 	us := make([]iurtree.Object, len(users))
 	for i, u := range users {
 		us[i] = iurtree.Object{ID: u.ID, Loc: geom.Point{X: u.X, Y: u.Y}, Doc: e.vectorize(u.Text)}
 	}
+	var tracker storage.Tracker
 	out, err := core.BichromaticRSTkNN(e.tree, us,
 		core.Query{Loc: geom.Point{X: x, Y: y}, Doc: e.vectorize(text)},
-		core.BichromaticOptions{K: k, Alpha: e.opt.Alpha, Sim: e.measure})
+		core.BichromaticOptions{K: k, Alpha: e.opt.Alpha, Sim: e.measure, Ctx: ctx, Tracker: &tracker})
 	if err != nil {
 		return nil, err
 	}
 	return out.UserIDs, nil
+}
+
+// QueryRequest is one unit of work for BatchQuery.
+type QueryRequest struct {
+	X, Y float64
+	Text string
+	K    int
+}
+
+// BatchResult pairs one BatchQuery answer with its error; exactly one of
+// the two fields is meaningful.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// BatchQuery answers many reverse queries over a worker pool sharing
+// this engine. parallelism caps the number of concurrent workers; values
+// <= 0 default to runtime.GOMAXPROCS(0). Results are returned in request
+// order, each with its own per-query QueryStats.
+func (e *Engine) BatchQuery(reqs []QueryRequest, parallelism int) []BatchResult {
+	return e.BatchQueryCtx(context.Background(), reqs, parallelism)
+}
+
+// BatchQueryCtx is BatchQuery with cancellation: once the context is
+// done, not-yet-started requests fail fast with ctx.Err() and running
+// ones abort at their next node read.
+func (e *Engine) BatchQueryCtx(ctx context.Context, reqs []QueryRequest, parallelism int) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(reqs) {
+		parallelism = len(reqs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{Err: err}
+					continue
+				}
+				r := reqs[i]
+				res, err := e.QueryCtx(ctx, r.X, r.Y, r.Text, r.K)
+				out[i] = BatchResult{Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // NaiveQuery answers the same reverse query by exhaustive scan — the

@@ -115,16 +115,6 @@ func TestOptionsValidation(t *testing.T) {
 	}
 }
 
-func TestQueryValidation(t *testing.T) {
-	eng, err := Build(genRestaurants(rand.New(rand.NewSource(3)), 20), Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := eng.Query(0, 0, "sushi", 0); err == nil {
-		t.Error("k=0 should fail")
-	}
-}
-
 func TestTopKEngine(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	eng, err := Build(genRestaurants(rng, 200), Options{})
