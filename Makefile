@@ -1,0 +1,47 @@
+# Development entry points. `make check` is what CI runs (minus the
+# pinned golangci-lint job, which needs the binary on PATH).
+
+GOLANGCI_LINT ?= golangci-lint
+LINT_TOOL     := $(or $(TMPDIR),/tmp)/rstknn-lint
+FUZZTIME      ?= 10s
+
+.PHONY: all build test race lint golangci fmt fuzz check clean
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Domain-specific analyzers (trackedio, ctxflow, locksafe, floatcmp)
+# driven through the go vet vettool protocol, plus standard go vet.
+lint:
+	go vet ./...
+	go build -o $(LINT_TOOL) ./cmd/rstknn-lint
+	go vet -vettool=$(LINT_TOOL) ./...
+
+# General-purpose linters; requires golangci-lint on PATH (CI pins its
+# version in .github/workflows/ci.yml).
+golangci:
+	$(GOLANGCI_LINT) run
+
+fmt:
+	gofmt -w .
+
+# Short fuzzing pass over every fuzz target; seed corpora live in each
+# package's testdata/fuzz directory.
+fuzz:
+	go test ./internal/vector/  -run '^$$' -fuzz FuzzVectorRoundTrip -fuzztime $(FUZZTIME)
+	go test ./internal/iurtree/ -run '^$$' -fuzz FuzzNodeRoundTrip   -fuzztime $(FUZZTIME)
+	go test ./internal/textual/ -run '^$$' -fuzz FuzzTextualPersist  -fuzztime $(FUZZTIME)
+
+check: lint build test race fuzz
+
+clean:
+	rm -f $(LINT_TOOL)
+	go clean ./...

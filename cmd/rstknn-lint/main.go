@@ -1,0 +1,18 @@
+// Command rstknn-lint is the project's vettool: a go-vet-compatible
+// driver for the domain analyzers in internal/analysis (trackedio,
+// ctxflow, locksafe, floatcmp).
+//
+// It is not run directly; build it and hand it to go vet:
+//
+//	go build -o /tmp/rstknn-lint ./cmd/rstknn-lint
+//	go vet -vettool=/tmp/rstknn-lint ./...
+//
+// or simply `make lint`. Intentional exceptions are annotated in source
+// with //rstknn:allow <analyzer> <reason> (see internal/analysis).
+package main
+
+import "rstknn/internal/analysis"
+
+func main() {
+	analysis.VetMain(analysis.All()...)
+}

@@ -62,6 +62,7 @@ func run(args []string, out io.Writer) error {
 		topk     = fs.String("topk", "", `top-k query: "x,y,term term ..."`)
 		stats    = fs.Bool("stats", false, "print collection and index statistics")
 		check    = fs.Bool("check", false, "verify the reverse query against the naive oracle")
+		checkIdx = fs.Bool("checkindex", false, "verify the IUR-tree structural invariants after building")
 		timeout  = fs.Duration("timeout", 0, "abort queries after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -129,6 +130,15 @@ func run(args []string, out io.Writer) error {
 
 	if *stats {
 		printStats(out, objs, tree, vocab)
+	}
+
+	if *checkIdx {
+		var tracker storage.Tracker
+		if err := tree.CheckInvariantsTracked(&tracker); err != nil {
+			return fmt.Errorf("checkindex FAILED: %w", err)
+		}
+		fmt.Fprintf(out, "checkindex: all structural invariants hold (%d node reads, %d cache hits)\n",
+			tracker.Reads(), tracker.CacheHits())
 	}
 
 	strategy := core.RefineByMaxUpper

@@ -47,6 +47,21 @@ func TestRunCIURWithAllFlags(t *testing.T) {
 	}
 }
 
+func TestRunCheckIndex(t *testing.T) {
+	for _, index := range []string{"iur", "ciur"} {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-gen", "gn", "-n", "400", "-index", index, "-checkindex",
+		}, &buf)
+		if err != nil {
+			t.Fatalf("index %s: %v", index, err)
+		}
+		if !strings.Contains(buf.String(), "checkindex: all structural invariants hold") {
+			t.Errorf("index %s: missing checkindex confirmation:\n%s", index, buf.String())
+		}
+	}
+}
+
 func TestRunTopK(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{

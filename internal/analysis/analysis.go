@@ -1,0 +1,218 @@
+// Package analysis is the project's static-analysis subsystem: a small,
+// dependency-free re-implementation of the go/analysis model (the module
+// has no network access to golang.org/x/tools, so the framework is built
+// on go/ast and go/types alone) plus four domain analyzers that enforce
+// invariants the compiler cannot:
+//
+//   - trackedio: no raw Store.Get / Tree.ReadNode in library code — query
+//     and traversal paths must use the *Tracked variants so per-query I/O
+//     attribution (the paper's cost metric) is never silently dropped.
+//   - ctxflow: context.Context parameters come first, exported *Ctx entry
+//     points really take a context, and library internals never mint their
+//     own context.Background()/TODO().
+//   - locksafe: mutex-bearing structs (pool shards, cache shards) are not
+//     copied, and no simulated-I/O call runs while a lock is held.
+//   - floatcmp: no ==/!= between two non-constant floats (similarity
+//     scores) outside the approved internal/geom and internal/vector
+//     epsilon-helper packages.
+//
+// Analyzers run under "go vet -vettool=$(go build -o /tmp/rstknn-lint
+// ./cmd/rstknn-lint)" via the unitchecker protocol (see vet.go) and under
+// the in-repo analysistest harness (see analysistest/).
+//
+// # Allowlist directive
+//
+// A finding can be suppressed where the flagged pattern is intentional:
+//
+//	//rstknn:allow <analyzer>[,<analyzer>...] [reason...]
+//
+// The directive applies to the line it trails, to the line directly below
+// it, or — when it appears in a function's doc comment — to the whole
+// function. A reason is not parsed but should always be given; it is the
+// audit trail for every exception.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the check to one package, reporting findings on pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives every non-suppressed diagnostic.
+	Report func(Diagnostic)
+
+	allow *directiveIndex
+}
+
+// NewPass assembles a pass over a type-checked package, indexing the
+// package's allow directives so Reportf can honor them.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    report,
+		allow:     indexDirectives(fset, files),
+	}
+}
+
+// Reportf reports a finding at pos unless an allow directive for this
+// analyzer covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allow.allows(p.Analyzer.Name, p.Fset.Position(pos)) {
+		return
+	}
+	p.Report(Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// SourceFiles returns the pass's files excluding _test.go files. The
+// domain analyzers enforce library contracts; tests may legitimately poke
+// at raw reads, exact floats, and background contexts.
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// All returns every domain analyzer, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{TrackedIO, CtxFlow, LockSafe, FloatCmp}
+}
+
+// ------------------------------------------------------------------
+// Allow directives
+
+const directivePrefix = "rstknn:allow"
+
+// directiveIndex records which analyzers are allowed on which lines.
+type directiveIndex struct {
+	// byLine maps filename -> line -> analyzer names allowed there.
+	byLine map[string]map[int][]string
+	// spans are whole-function exemptions from doc-comment directives.
+	spans []directiveSpan
+}
+
+type directiveSpan struct {
+	file      string
+	from, to  int
+	analyzers []string
+}
+
+// indexDirectives scans every comment of every file for allow directives.
+func indexDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx.byLine[pos.Filename] = lines
+				}
+				// The directive covers its own line (trailing form) and
+				// the next line (preceding form).
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+		// Doc-comment directives cover the whole declaration.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				var names []string
+				for _, c := range fd.Doc.List {
+					if n, ok := parseDirective(c.Text); ok {
+						names = append(names, n...)
+					}
+				}
+				if len(names) > 0 {
+					from := fset.Position(fd.Pos())
+					to := fset.Position(fd.End())
+					idx.spans = append(idx.spans, directiveSpan{
+						file: from.Filename, from: from.Line, to: to.Line, analyzers: names,
+					})
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseDirective extracts the analyzer names from an allow directive
+// comment, reporting whether the comment is one.
+func parseDirective(text string) ([]string, bool) {
+	body, ok := strings.CutPrefix(text, "//"+directivePrefix)
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+func (idx *directiveIndex) allows(analyzer string, pos token.Position) bool {
+	if lines, ok := idx.byLine[pos.Filename]; ok {
+		for _, name := range lines[pos.Line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	for _, sp := range idx.spans {
+		if sp.file != pos.Filename || pos.Line < sp.from || pos.Line > sp.to {
+			continue
+		}
+		for _, name := range sp.analyzers {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

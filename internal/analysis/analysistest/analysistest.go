@@ -1,0 +1,168 @@
+// Package analysistest runs an analyzer over a fixture package under
+// testdata/src and checks its diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which this
+// module cannot depend on).
+//
+// A fixture line expecting a diagnostic carries a trailing comment
+//
+//	x.ReadNode(0) // want `untracked`
+//	a == b        // want "exact =="
+//
+// where the quoted or backquoted string is a regexp that must match the
+// diagnostic message reported on that line. Lines without a want comment
+// must stay diagnostic-free. Fixtures are type-checked against the real
+// standard library from source (GOROOT), so they may import stdlib
+// packages but nothing else; the package path handed to the type checker
+// is the fixture's directory path relative to testdata/src, which lets a
+// fixture impersonate e.g. rstknn/internal/geom to exercise package-based
+// exemptions.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"rstknn/internal/analysis"
+)
+
+// Run analyzes the fixture package at testdata/src/<pkgPath> with a and
+// reports every mismatch between actual diagnostics and want comments as
+// a test error.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+		got = append(got, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	checkDiagnostics(t, fset, got, wants)
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return files, nil
+}
+
+// want is one expectation: a regexp that must match a diagnostic on its
+// line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantPattern extracts the quoted ("...") or backquoted (`...`) regexps
+// from a want comment.
+var wantPattern = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				matches := wantPattern.FindAllStringSubmatch(body, -1)
+				if len(matches) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, c.Text)
+					continue
+				}
+				for _, m := range matches {
+					expr := m[1]
+					if m[2] != "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, expr, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkDiagnostics(t *testing.T, fset *token.FileSet, got []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the context-propagation contract of the query engine:
+//
+//  1. Library internals (packages under internal/) never call
+//     context.Background() or context.TODO() — a query's context is minted
+//     exactly once, at the public API boundary, so cancellation and
+//     deadlines flow through every traversal.
+//  2. A context.Context parameter is always the first parameter.
+//  3. An exported *Ctx-suffixed function or method really accepts a
+//     context.Context as its first parameter.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "exported query entry points must accept and propagate " +
+		"context.Context; library internals must not mint their own",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	internal := strings.Contains(pass.Pkg.Path(), "internal/")
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if internal {
+					if name, ok := contextMint(pass.TypesInfo, n); ok {
+						pass.Reportf(n.Pos(),
+							"context.%s() in library internals breaks cancellation flow; accept a ctx from the caller or annotate with //rstknn:allow ctxflow <reason>",
+							name)
+					}
+				}
+			case *ast.FuncDecl:
+				checkCtxParams(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// contextMint reports calls to context.Background or context.TODO.
+func contextMint(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func checkCtxParams(pass *Pass, fd *ast.FuncDecl) {
+	params := flattenParams(pass, fd.Type.Params)
+	for i, p := range params {
+		if isContextType(p.typ) && i > 0 {
+			pass.Reportf(p.pos, "context.Context must be the first parameter of %s", fd.Name.Name)
+		}
+	}
+	name := fd.Name.Name
+	if ast.IsExported(name) && strings.HasSuffix(name, "Ctx") && len(name) > len("Ctx") {
+		if len(params) == 0 || !isContextType(params[0].typ) {
+			pass.Reportf(fd.Name.Pos(),
+				"exported entry point %s is Ctx-suffixed but does not take a context.Context first parameter", name)
+		}
+	}
+}
+
+type param struct {
+	pos token.Pos
+	typ types.Type
+}
+
+// flattenParams expands a parameter field list into one entry per
+// declared parameter (a field like "a, b int" yields two).
+func flattenParams(pass *Pass, fl *ast.FieldList) []param {
+	if fl == nil {
+		return nil
+	}
+	var out []param
+	for _, field := range fl.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if len(field.Names) == 0 {
+			out = append(out, param{pos: field.Type.Pos(), typ: t})
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, param{pos: name.Pos(), typ: t})
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmp flags == and != between two non-constant floating-point
+// expressions. Similarity scores in this codebase are sums and ratios of
+// float64 term weights — two mathematically equal scores routinely differ
+// in the last ulp, so exact equality silently misranks results. Compare
+// through the epsilon helpers (geom.ApproxEqual, vector.SimEqual) or,
+// where bit-exact equality is the point (deterministic tie-breaking on
+// identical inputs), annotate the comparison:
+//
+//	//rstknn:allow floatcmp <reason>
+//
+// Comparisons against compile-time constants (x == 0 sentinels) and the
+// approved epsilon-helper packages internal/geom and internal/vector are
+// exempt.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbids ==/!= between non-constant floats outside the approved " +
+		"geom/vector epsilon helpers",
+	Run: runFloatCmp,
+}
+
+// approvedFloatPkgs hold the epsilon helpers and may compare floats
+// exactly; everything else goes through them.
+var approvedFloatPkgs = []string{"internal/geom", "internal/vector"}
+
+func runFloatCmp(pass *Pass) error {
+	for _, suffix := range approvedFloatPkgs {
+		if strings.HasSuffix(pass.Pkg.Path(), suffix) {
+			return nil
+		}
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(cmp.X)) && !isFloat(pass.TypesInfo.TypeOf(cmp.Y)) {
+				return true
+			}
+			// A constant operand is a sentinel check (x == 0), not an
+			// epsilon-sensitive score comparison.
+			if pass.TypesInfo.Types[cmp.X].Value != nil || pass.TypesInfo.Types[cmp.Y].Value != nil {
+				return true
+			}
+			pass.Reportf(cmp.OpPos,
+				"exact %s on floats; use the geom/vector epsilon helpers or annotate with //rstknn:allow floatcmp <reason>",
+				cmp.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rstknn/internal/analysis"
+	"rstknn/internal/analysis/analysistest"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, analysis.FloatCmp, "floatcmp")
+}
+
+// TestFloatCmpApprovedPackage verifies the package-path exemption: the
+// epsilon helpers in rstknn/internal/geom may compare floats exactly.
+func TestFloatCmpApprovedPackage(t *testing.T) {
+	analysistest.Run(t, analysis.FloatCmp, "rstknn/internal/geom")
+}

@@ -1,0 +1,28 @@
+// Package floatcmp is an analysistest fixture for the floatcmp analyzer.
+package floatcmp
+
+type score float64
+
+func compare(a, b float64, s1, s2 score, i, j int, f float32) bool {
+	if a == b { // want `exact == on floats`
+		return true
+	}
+	if a != b { // want `exact != on floats`
+		return false
+	}
+	if s1 == s2 { // want `exact == on floats`
+		return true
+	}
+	_ = f == 0 // constant sentinel: clean
+	if a == 0 || b != 1.5 {
+		return false
+	}
+	if i == j { // ints: clean
+		return true
+	}
+	//rstknn:allow floatcmp deterministic tie-break on identical inputs
+	if a == b {
+		return true
+	}
+	return a < b // ordering comparisons: clean
+}

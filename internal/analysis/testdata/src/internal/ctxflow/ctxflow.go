@@ -1,0 +1,41 @@
+// Package ctxflow is an analysistest fixture for the ctxflow analyzer.
+// Its package path contains "internal/", so the no-context-minting rule
+// applies as it does to the real library internals.
+package ctxflow
+
+import "context"
+
+// QueryCtx is a well-formed entry point: exported, Ctx-suffixed, context
+// first. Clean.
+func QueryCtx(ctx context.Context, k int) error { return ctx.Err() }
+
+// BatchCtx lost its context parameter.
+func BatchCtx(k int) error { return nil } // want `Ctx-suffixed but does not take a context\.Context first`
+
+func misplaced(k int, ctx context.Context) error { return ctx.Err() } // want `context\.Context must be the first parameter`
+
+type Engine struct{}
+
+// RunCtx is Ctx-suffixed with the context in the wrong slot: both rules
+// fire.
+func (e *Engine) RunCtx(k int, ctx context.Context) error { return ctx.Err() } // want `Ctx-suffixed but does not take a context\.Context first` `context\.Context must be the first parameter`
+
+func mint() context.Context {
+	return context.Background() // want `context\.Background\(\) in library internals`
+}
+
+func mintTODO() context.Context {
+	return context.TODO() // want `context\.TODO\(\) in library internals`
+}
+
+func allowedMint() context.Context {
+	//rstknn:allow ctxflow detached maintenance goroutine
+	return context.Background()
+}
+
+// propagate is the correct internal shape: ctx first, threaded through.
+func propagate(ctx context.Context, t *tree) error { return t.walk(ctx) }
+
+type tree struct{}
+
+func (t *tree) walk(ctx context.Context) error { return ctx.Err() }

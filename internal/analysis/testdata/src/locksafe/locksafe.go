@@ -1,0 +1,78 @@
+// Package locksafe is an analysistest fixture for the locksafe analyzer:
+// shard-like structs with embedded locks, plus store stand-ins whose
+// Get/GetTracked count as simulated I/O.
+package locksafe
+
+import "sync"
+
+type NodeID int32
+
+type Tracker struct{}
+
+type Store struct{ mu sync.RWMutex }
+
+func (s *Store) Get(id NodeID) ([]byte, error)                     { return nil, nil }
+func (s *Store) GetTracked(id NodeID, tr *Tracker) ([]byte, error) { return nil, nil }
+
+type shard struct {
+	mu    sync.Mutex
+	items map[NodeID][]byte
+}
+
+type pool struct{ shards []shard }
+
+func copyParam(s shard) {} // want `passes a lock-bearing`
+
+func (s shard) valueReceiver() {} // want `passes a lock-bearing`
+
+func ptrParam(s *shard) {} // clean
+
+func rangeCopy(p *pool) {
+	for _, sh := range p.shards { // want `range copies a lock-bearing`
+		_ = sh.items
+	}
+	for i := range p.shards { // by-index iteration: clean
+		sh := &p.shards[i]
+		_ = sh.items
+	}
+}
+
+func derefCopy(sh *shard) {
+	cp := *sh // want `assignment copies a lock-bearing`
+	_ = cp
+}
+
+func lockedIO(s *Store) {
+	s.mu.Lock()
+	s.Get(0) // want `Store\.Get called while holding a lock`
+	s.mu.Unlock()
+
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.Get(0) // released before the read: clean
+}
+
+func deferredLockedIO(s *Store, tr *Tracker) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.GetTracked(0, tr) // want `Store\.GetTracked called while holding a lock`
+}
+
+func lookupThenRead(s *Store) ([]byte, error) {
+	s.mu.RLock()
+	n := len(s.trailer())
+	s.mu.RUnlock()
+	if n == 0 {
+		return nil, nil
+	}
+	return s.Get(0) // clean: lock released
+}
+
+func (s *Store) trailer() []byte { return nil }
+
+func allowedLockedIO(s *Store) {
+	s.mu.Lock()
+	//rstknn:allow locksafe single-threaded recovery path
+	s.Get(0)
+	s.mu.Unlock()
+}

@@ -1,0 +1,18 @@
+// Package geom is an analysistest fixture impersonating the approved
+// epsilon-helper package rstknn/internal/geom: exact float comparison is
+// permitted here (this is where the helpers themselves live), so the
+// floatcmp analyzer must stay silent.
+package geom
+
+// ApproxEqual is the shape of an epsilon helper: the short-circuit exact
+// comparison inside the approved package is legal.
+func ApproxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

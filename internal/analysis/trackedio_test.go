@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rstknn/internal/analysis"
+	"rstknn/internal/analysis/analysistest"
+)
+
+func TestTrackedIO(t *testing.T) {
+	analysistest.Run(t, analysis.TrackedIO, "trackedio")
+}

@@ -1,0 +1,247 @@
+package analysis
+
+// A stdlib-only implementation of the `go vet -vettool` driver protocol
+// (the "unitchecker" protocol of golang.org/x/tools, which this module
+// cannot depend on). The go command invokes the tool three ways:
+//
+//	tool -V=full       print a version fingerprint (for build caching)
+//	tool -flags        describe analyzer flags as JSON
+//	tool <unit>.cfg    analyze one compilation unit described by the
+//	                   JSON config file, writing facts to cfg.VetxOutput
+//	                   and diagnostics to stderr (exit 1 when any)
+//
+// Type information for imports comes from the export-data files the go
+// command already produced for the build, via go/importer.ForCompiler
+// with a lookup into cfg.PackageFile. The analyzers in this package use
+// no cross-package facts, so the facts file is written empty and
+// fact-only (VetxOnly) invocations return immediately.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON compilation-unit description the go command
+// hands to a vettool. Field names are fixed by the protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain is the entry point of cmd/rstknn-lint: a vet-compatible driver
+// running the given analyzers on one compilation unit per invocation.
+func VetMain(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	printVersion := flag.String("V", "", "print version and exit (-V=full)")
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	jsonOut := flag.Bool("json", false, "emit JSON output")
+	flag.Parse()
+
+	switch {
+	case *printVersion != "":
+		versionFingerprint(*printVersion)
+		return
+	case *printFlags:
+		// No analyzer exposes flags; report an empty list so go vet
+		// passes none through.
+		fmt.Print("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf("usage: run via go vet -vettool=%s ./... (direct invocation takes a single unit.cfg)", progname)
+	}
+	os.Exit(runUnit(args[0], analyzers, *jsonOut, os.Stdout, os.Stderr))
+}
+
+// versionFingerprint implements the -V=full handshake: the go command
+// caches vet results keyed on this line, so it must change whenever the
+// tool binary changes. Hashing the executable achieves that.
+func versionFingerprint(mode string) {
+	if mode != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", mode)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", exe, h.Sum(nil))
+}
+
+// runUnit analyzes the compilation unit described by cfgPath and returns
+// the process exit code.
+func runUnit(cfgPath string, analyzers []*Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgPath, err)
+	}
+
+	// The go command expects a facts file even from fact-free tools.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatalf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependencies are analyzed only for facts; we have none.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer:  cfgImporter(&cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+
+	diags := make(map[string][]Diagnostic)
+	for _, a := range analyzers {
+		pass := NewPass(a, fset, files, pkg, info, func(d Diagnostic) {
+			diags[a.Name] = append(diags[a.Name], d)
+		})
+		if err := a.Run(pass); err != nil {
+			log.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+
+	if jsonOut {
+		printJSONDiagnostics(stdout, fset, cfg.ID, analyzers, diags)
+		return 0
+	}
+	exit := 0
+	for _, a := range analyzers {
+		for _, d := range diags[a.Name] {
+			fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// newTypesInfo allocates every map go/types can fill; the analyzers need
+// Selections, Types, and Uses, and the rest is cheap.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// cfgImporter resolves imports through the export-data files listed in
+// the unit config, exactly as the go command prepared them.
+func cfgImporter(cfg *vetConfig, fset *token.FileSet) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// printJSONDiagnostics emits the {pkgID: {analyzer: [diagnostic]}} shape
+// `go vet -json` merges across units.
+func printJSONDiagnostics(w io.Writer, fset *token.FileSet, id string, analyzers []*Analyzer, diags map[string][]Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	unit := make(map[string][]jsonDiag)
+	for _, a := range analyzers {
+		ds := diags[a.Name]
+		if len(ds) == 0 {
+			continue
+		}
+		out := make([]jsonDiag, len(ds))
+		for i, d := range ds {
+			out[i] = jsonDiag{Posn: fset.Position(d.Pos).String(), Message: d.Message}
+		}
+		unit[a.Name] = out
+	}
+	enc, err := json.MarshalIndent(map[string]map[string][]jsonDiag{id: unit}, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := w.Write(append(enc, '\n')); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeUnitConfig synthesizes the JSON compilation-unit config `go vet`
+// would hand the vettool for a dependency-free package.
+func writeUnitConfig(t *testing.T, dir string, goFiles []string, vetxOnly bool) (cfgPath, vetxPath string) {
+	t.Helper()
+	vetxPath = filepath.Join(dir, "unit.vetx")
+	cfg := vetConfig{
+		ID:          "fixture",
+		Compiler:    "gc",
+		ImportPath:  "fixture",
+		GoFiles:     goFiles,
+		ImportMap:   map[string]string{},
+		PackageFile: map[string]string{},
+		VetxOnly:    vetxOnly,
+		VetxOutput:  vetxPath,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+func TestRunUnitReportsDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	code := `package fixture
+
+func exact(a, b float64) bool { return a == b }
+`
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath, vetxPath := writeUnitConfig(t, dir, []string{src}, false)
+
+	var stdout, stderr strings.Builder
+	exit := runUnit(cfgPath, All(), false, &stdout, &stderr)
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", exit, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "exact == on floats") {
+		t.Fatalf("missing floatcmp diagnostic in output: %q", stderr.String())
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+}
+
+func TestRunUnitCleanPackage(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	code := `package fixture
+
+func fine(a, b float64) bool { return a < b }
+`
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath, _ := writeUnitConfig(t, dir, []string{src}, false)
+
+	var stdout, stderr strings.Builder
+	if exit := runUnit(cfgPath, All(), false, &stdout, &stderr); exit != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", exit, stderr.String())
+	}
+}
+
+func TestRunUnitJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	code := `package fixture
+
+func exact(a, b float64) bool { return a == b }
+`
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath, _ := writeUnitConfig(t, dir, []string{src}, false)
+
+	var stdout, stderr strings.Builder
+	if exit := runUnit(cfgPath, All(), true, &stdout, &stderr); exit != 0 {
+		t.Fatalf("exit = %d, want 0 in JSON mode; stderr: %s", exit, stderr.String())
+	}
+	var tree map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &tree); err != nil {
+		t.Fatalf("output is not the vet JSON shape: %v\n%s", err, stdout.String())
+	}
+	if len(tree["fixture"]["floatcmp"]) != 1 {
+		t.Fatalf("want 1 floatcmp diagnostic in JSON tree, got %v", tree)
+	}
+}
+
+// TestRunUnitVetxOnly checks the fact-only fast path: dependencies are
+// analyzed for facts alone, and a fact-free tool must still write the
+// facts file and succeed without type-checking anything.
+func TestRunUnitVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	// Deliberately broken source: VetxOnly must not even parse it.
+	if err := os.WriteFile(src, []byte("package fixture\nfunc {"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath, vetxPath := writeUnitConfig(t, dir, []string{src}, true)
+
+	var stdout, stderr strings.Builder
+	if exit := runUnit(cfgPath, All(), false, &stdout, &stderr); exit != 0 {
+		t.Fatalf("exit = %d, want 0 in VetxOnly mode", exit)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Fatalf("facts file not written in VetxOnly mode: %v", err)
+	}
+}
+
+// TestDirectiveParsing pins the allow-directive grammar.
+func TestDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		comment string
+		names   []string
+	}{
+		{"//rstknn:allow trackedio maintenance copy", []string{"trackedio"}},
+		{"//rstknn:allow trackedio,floatcmp reason here", []string{"trackedio", "floatcmp"}},
+		{"//rstknn:allow", nil},
+		{"// rstknn:allow trackedio", nil}, // directives must not have a space
+		{"// regular comment", nil},
+	}
+	for _, c := range cases {
+		names, ok := parseDirective(c.comment)
+		if c.names == nil {
+			if ok {
+				t.Errorf("parseDirective(%q) = %v, want none", c.comment, names)
+			}
+			continue
+		}
+		if !ok || len(names) != len(c.names) {
+			t.Errorf("parseDirective(%q) = %v, %v; want %v", c.comment, names, ok, c.names)
+			continue
+		}
+		for i := range names {
+			if names[i] != c.names[i] {
+				t.Errorf("parseDirective(%q)[%d] = %q, want %q", c.comment, i, names[i], c.names[i])
+			}
+		}
+	}
+}

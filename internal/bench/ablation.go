@@ -108,6 +108,7 @@ func RunF11Ablation(cfg Config) error {
 		qn := float64(len(queries))
 		if reference < 0 {
 			reference = agg.Results
+			//rstknn:allow floatcmp both sides are sums of integer result counts, exactly representable in float64
 		} else if agg.Results != reference {
 			return fmt.Errorf("F11: variant %q changed the result set", v.name)
 		}

@@ -210,7 +210,7 @@ func (cl *contributionList) refinable(strategy RefineStrategy, numClusters int, 
 			tie = float64(c.entry.Count)
 		}
 		if best == -1 || (relevant && !bestRelevant) ||
-			key > bestKey || (key == bestKey && tie > bestTie) {
+			key > bestKey || (key == bestKey && tie > bestTie) { //rstknn:allow floatcmp exact tie on the refinement key falls through to the secondary criterion
 			best, bestKey, bestTie, bestRelevant = i, key, tie, relevant
 		}
 	}

@@ -89,6 +89,7 @@ func TopK(t *iurtree.Tree, q Query, opt TopKOptions) ([]Neighbor, Metrics, error
 	}
 	vs, _ := top.Drain()
 	sort.Slice(vs, func(i, j int) bool {
+		//rstknn:allow floatcmp sort comparator needs a strict weak order; epsilon ties would break transitivity
 		if vs[i].Sim != vs[j].Sim {
 			return vs[i].Sim > vs[j].Sim
 		}

@@ -1,0 +1,40 @@
+package geom
+
+import "math"
+
+// Epsilon is the default tolerance for approximate float comparisons:
+// scores and distances in this library accumulate only a handful of
+// floating-point operations, so anything within a few ULPs of 1e-9
+// relative error is "equal" for ranking purposes.
+const Epsilon = 1e-9
+
+// ApproxEqual reports whether a and b are equal within a mixed
+// absolute/relative tolerance of Epsilon. It is the comparison the
+// floatcmp analyzer points code at instead of ==: exact equality on
+// computed similarities or distances silently diverges across
+// compilers, FMA contraction, and summation orders.
+func ApproxEqual(a, b float64) bool {
+	return ApproxEqualTol(a, b, Epsilon)
+}
+
+// ApproxEqualTol is ApproxEqual with an explicit tolerance. Two NaNs
+// compare unequal (as with ==); infinities compare equal only to the
+// same infinity.
+func ApproxEqualTol(a, b, tol float64) bool {
+	// Exact fast path; also the only correct way to treat equal
+	// infinities. geom is exempt from floatcmp precisely so helpers
+	// like this can be written.
+	if a == b {
+		return true
+	}
+	// An infinity equals only itself, which the fast path handled; the
+	// relative test below would otherwise accept Inf <= tol*Inf.
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,41 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},             // well within relative tolerance
+		{1e12, 1e12 * (1 + 1e-12), true}, // relative tolerance scales
+		{0, 1e-12, true},                 // absolute tolerance near zero
+		{1, 1.001, false},
+		{0, 1e-6, false},
+		{inf, inf, true},
+		{inf, -inf, false},
+		{inf, 1e308, false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 1, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := ApproxEqual(c.b, c.a); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g) = %v, want %v (not symmetric)", c.b, c.a, got, c.want)
+		}
+	}
+	if !ApproxEqualTol(1, 1.05, 0.1) {
+		t.Error("ApproxEqualTol should honor a custom tolerance")
+	}
+	if ApproxEqualTol(1, 1.5, 0.1) {
+		t.Error("ApproxEqualTol accepted a difference beyond its tolerance")
+	}
+}

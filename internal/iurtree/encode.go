@@ -144,6 +144,11 @@ func decodeEntry(buf []byte) (Entry, int, error) {
 	nc := int(binary.LittleEndian.Uint16(buf[off:]))
 	off += 2
 	if nc > 0 {
+		// A cluster summary is at least 8 bytes of header plus an
+		// envelope; reject impossible counts before allocating.
+		if len(buf)-off < nc*9 {
+			return e, 0, fmt.Errorf("cluster count %d exceeds blob size", nc)
+		}
 		e.Clusters = make([]ClusterSummary, nc)
 		for i := 0; i < nc; i++ {
 			if len(buf) < off+8 {
@@ -207,6 +212,12 @@ func decodeNode(buf []byte) (*Node, error) {
 	n := &Node{Leaf: buf[0] == 1}
 	count := int(binary.LittleEndian.Uint16(buf[1:]))
 	off := 3
+	// An entry is at least rect (32) + IDs and count (12) + envelope
+	// shape (1) + cluster count (2) bytes; reject impossible entry
+	// counts before allocating for them.
+	if len(buf)-off < count*47 {
+		return nil, fmt.Errorf("entry count %d exceeds blob size", count)
+	}
 	n.Entries = make([]Entry, count)
 	for i := 0; i < count; i++ {
 		e, sz, err := decodeEntry(buf[off:])
@@ -239,6 +250,7 @@ func (t *Tree) Save() storage.NodeID {
 
 // Open reopens a tree previously Saved under headerID on the given store.
 func Open(store storage.Blobs, headerID storage.NodeID) (*Tree, error) {
+	//rstknn:allow trackedio one-time header read at open, before any query exists
 	buf, err := store.Get(headerID)
 	if err != nil {
 		return nil, err

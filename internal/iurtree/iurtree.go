@@ -375,11 +375,18 @@ func (t *Tree) Store() storage.Blobs { return t.store }
 
 // Walk visits every node of the tree in depth-first order, calling visit
 // with the node and its depth (0 at the root). It charges simulated I/O
-// like any other read path.
+// like any other read path; reads are unattributed (no tracker).
 func (t *Tree) Walk(visit func(n *Node, depth int) error) error {
+	return t.WalkTracked(nil, visit)
+}
+
+// WalkTracked is Walk with the traversal's node reads attributed to tr,
+// so maintenance scans show up in per-query I/O accounting instead of
+// vanishing into the global counters. A nil tracker is allowed.
+func (t *Tree) WalkTracked(tr *storage.Tracker, visit func(n *Node, depth int) error) error {
 	var rec func(id storage.NodeID, depth int) error
 	rec = func(id storage.NodeID, depth int) error {
-		n, err := t.ReadNode(id)
+		n, err := t.ReadNodeTracked(id, tr)
 		if err != nil {
 			return err
 		}
@@ -404,14 +411,31 @@ func (t *Tree) Walk(visit func(n *Node, depth int) error) error {
 
 // CheckInvariants verifies the IUR-tree augmentation invariants on the
 // whole tree: counts add up, every entry's MBR/envelope contains its
-// subtree, and per-cluster summaries partition the entry count. Intended
-// for tests; it reads every node.
+// subtree, per-cluster summaries partition the entry count, and all
+// leaves sit at the same depth. Intended for tests and the -checkindex
+// maintenance command; it reads every node.
 func (t *Tree) CheckInvariants() error {
+	return t.CheckInvariantsTracked(nil)
+}
+
+// CheckInvariantsTracked is CheckInvariants with the walk's node reads
+// attributed to tr. A nil tracker is allowed.
+func (t *Tree) CheckInvariantsTracked(tr *storage.Tracker) error {
 	if t.size == 0 {
+		if t.rootEntry.Count != 0 {
+			return fmt.Errorf("empty tree has root count %d", t.rootEntry.Count)
+		}
 		return nil
 	}
-	var check func(e Entry) error
-	check = func(e Entry) error {
+	if t.rootEntry.Count != int32(t.size) {
+		return fmt.Errorf("root entry count %d != tree size %d", t.rootEntry.Count, t.size)
+	}
+	if !t.space.ContainsRect(t.rootEntry.Rect) {
+		return fmt.Errorf("root rect %v outside dataspace %v", t.rootEntry.Rect, t.space)
+	}
+	leafDepth := t.height - 1
+	var check func(e Entry, depth int) error
+	check = func(e Entry, depth int) error {
 		if e.IsObject() {
 			if e.Count != 1 {
 				return fmt.Errorf("object %d has count %d", e.ObjID, e.Count)
@@ -421,9 +445,18 @@ func (t *Tree) CheckInvariants() error {
 			}
 			return nil
 		}
-		n, err := t.ReadNode(e.Child)
+		n, err := t.ReadNodeTracked(e.Child, tr)
 		if err != nil {
 			return err
+		}
+		if n.Leaf && depth != leafDepth {
+			return fmt.Errorf("node %d: leaf at depth %d, want %d (unbalanced tree)", e.Child, depth, leafDepth)
+		}
+		if !n.Leaf && depth >= leafDepth {
+			return fmt.Errorf("node %d: internal node at depth %d, height %d", e.Child, depth, t.height)
+		}
+		if len(n.Entries) == 0 {
+			return fmt.Errorf("node %d: empty non-root node", e.Child)
 		}
 		var count int32
 		for i := range n.Entries {
@@ -438,7 +471,7 @@ func (t *Tree) CheckInvariants() error {
 			if !c.Env.Uni.DominatedBy(e.Env.Uni) {
 				return fmt.Errorf("node %d: union vector not an upper bound", e.Child)
 			}
-			if err := check(c); err != nil {
+			if err := check(c, depth+1); err != nil {
 				return err
 			}
 		}
@@ -451,11 +484,17 @@ func (t *Tree) CheckInvariants() error {
 			if !cs.Env.Valid() {
 				return fmt.Errorf("node %d cluster %d: invalid envelope", e.Child, cs.Cluster)
 			}
+			if !e.Env.Int.DominatedBy(cs.Env.Int) {
+				return fmt.Errorf("node %d cluster %d: cluster intersection below entry intersection", e.Child, cs.Cluster)
+			}
+			if !cs.Env.Uni.DominatedBy(e.Env.Uni) {
+				return fmt.Errorf("node %d cluster %d: cluster union above entry union", e.Child, cs.Cluster)
+			}
 		}
 		if len(e.Clusters) > 0 && clusterTotal != e.Count {
 			return fmt.Errorf("node %d: cluster counts sum to %d, entry count %d", e.Child, clusterTotal, e.Count)
 		}
 		return nil
 	}
-	return check(t.rootEntry)
+	return check(t.rootEntry, 0)
 }

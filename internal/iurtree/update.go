@@ -71,6 +71,7 @@ func (t *Tree) Insert(o Object) error {
 		for i := range node.Entries {
 			enl := node.Entries[i].Rect.Enlargement(o.Loc.Rect())
 			area := node.Entries[i].Rect.Area()
+			//rstknn:allow floatcmp exact tie-break between identical enlargements; any split is correct
 			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
 				best, bestEnl, bestArea = i, enl, area
 			}
@@ -178,6 +179,7 @@ func splitEntries(entries []Entry) (left, right []Entry) {
 			continue
 		}
 		d1, d2 := lRect.Enlargement(e.Rect), rRect.Enlargement(e.Rect)
+		//rstknn:allow floatcmp exact tie-break between identical enlargements; any split is correct
 		if d1 < d2 || (d1 == d2 && len(left) <= len(right)) {
 			left = append(left, e)
 			lRect = lRect.Union(e.Rect)

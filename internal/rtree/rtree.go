@@ -114,6 +114,7 @@ func (t *Tree) chooseLeaf(n *Node, r geom.Rect) *Node {
 		for i, e := range n.Entries {
 			enl := e.Rect.Enlargement(r)
 			area := e.Rect.Area()
+			//rstknn:allow floatcmp exact tie-break between identical enlargements; any split is correct
 			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
 				best, bestEnl, bestArea = i, enl, area
 			}
@@ -234,7 +235,7 @@ func (t *Tree) quadraticSplit(n *Node) (left, right *Node) {
 		d1 := lRect.Enlargement(e.Rect)
 		d2 := rRect.Enlargement(e.Rect)
 		takeLeft := d1 < d2 ||
-			(d1 == d2 && lRect.Area() < rRect.Area()) ||
+			(d1 == d2 && lRect.Area() < rRect.Area()) || //rstknn:allow floatcmp quadratic-split tie-breaks; exact ties fall through to entry counts
 			(d1 == d2 && lRect.Area() == rRect.Area() && len(lEnt) <= len(rEnt))
 		if takeLeft {
 			lEnt = append(lEnt, e)

@@ -1,0 +1,79 @@
+package vector_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"rstknn/internal/vector"
+)
+
+// FuzzVectorRoundTrip drives the binary vector codec with arbitrary
+// bytes. Decoding must never panic, and any input the decoder accepts
+// must re-encode byte-for-byte (the encoding is canonical: strictly
+// increasing term IDs, weights preserved bit-exactly). The same holds
+// one layer up for envelopes (an intersection/union vector pair).
+func FuzzVectorRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := vector.DecodeVector(data)
+		if err == nil {
+			if n > len(data) {
+				t.Fatalf("DecodeVector consumed %d of %d bytes", n, len(data))
+			}
+			if re := v.AppendBinary(nil); !bytes.Equal(re, data[:n]) {
+				t.Fatalf("vector round-trip changed bytes:\n in: %x\nout: %x", data[:n], re)
+			}
+		}
+		e, n, err := vector.DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("DecodeEnvelope consumed %d of %d bytes", n, len(data))
+		}
+		if re := e.AppendBinary(nil); !bytes.Equal(re, data[:n]) {
+			t.Fatalf("envelope round-trip changed bytes:\n in: %x\nout: %x", data[:n], re)
+		}
+	})
+}
+
+// TestWriteVectorFuzzCorpus regenerates the checked-in seed corpus from
+// real encodings. Run with RSTKNN_WRITE_CORPUS=1 to refresh testdata.
+func TestWriteVectorFuzzCorpus(t *testing.T) {
+	if os.Getenv("RSTKNN_WRITE_CORPUS") == "" {
+		t.Skip("set RSTKNN_WRITE_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	small := vector.New(map[vector.TermID]float64{1: 0.5, 7: 2, 42: 1.25})
+	wide := map[vector.TermID]float64{}
+	for i := 0; i < 40; i++ {
+		wide[vector.TermID(i*3)] = float64(i) + 0.125
+	}
+	env := vector.Merge(vector.Exact(small), vector.Exact(vector.New(wide)))
+	seeds := [][]byte{
+		vector.Vector{}.AppendBinary(nil),
+		small.AppendBinary(nil),
+		vector.New(wide).AppendBinary(nil),
+		env.AppendBinary(nil),
+		vector.Exact(small).AppendBinary(nil),
+	}
+	writeSeedCorpus(t, filepath.Join("testdata", "fuzz", "FuzzVectorRoundTrip"), seeds)
+}
+
+// writeSeedCorpus writes seeds in the `go test fuzz v1` corpus format.
+func writeSeedCorpus(t *testing.T, dir string, seeds [][]byte) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		name := filepath.Join(dir, "seed-"+strconv.Itoa(i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

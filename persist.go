@@ -52,6 +52,7 @@ func (e *Engine) Save(dir string) error {
 	}
 	n := e.store.Len()
 	for id := 0; id < n; id++ {
+		//rstknn:allow trackedio maintenance copy outside any query; stats are reset below
 		blob, err := e.store.Get(storage.NodeID(id))
 		if err != nil {
 			fs.Close()
