@@ -5,7 +5,7 @@ GOLANGCI_LINT ?= golangci-lint
 LINT_TOOL     := $(or $(TMPDIR),/tmp)/rstknn-lint
 FUZZTIME      ?= 10s
 
-.PHONY: all build test race lint golangci fmt fuzz check clean
+.PHONY: all build test race lint golangci fmt fuzz bench-baseline check clean
 
 all: build
 
@@ -39,6 +39,13 @@ fuzz:
 	go test ./internal/vector/  -run '^$$' -fuzz FuzzVectorRoundTrip -fuzztime $(FUZZTIME)
 	go test ./internal/iurtree/ -run '^$$' -fuzz FuzzNodeRoundTrip   -fuzztime $(FUZZTIME)
 	go test ./internal/textual/ -run '^$$' -fuzz FuzzTextualPersist  -fuzztime $(FUZZTIME)
+
+# Regenerate the checked-in benchmark-regression baseline. The seed and
+# workload are pinned so diffs reflect code changes, not input drift;
+# wall-clock columns are machine-dependent (see the machine block in the
+# JSON), allocs/op and nodes-read are comparable across machines.
+bench-baseline:
+	go run ./cmd/rstknn-bench -json baseline -seed 7 -scale 0.25 -queries 16 -workers 1,2,4,8 -benchiters 3
 
 check: lint build test race fuzz
 

@@ -95,6 +95,39 @@ func BenchmarkRSTkNNQuery5k(b *testing.B) {
 	}
 }
 
+// BenchmarkRSTkNNQuery5kWorkers4 runs the same query workload through
+// the intra-query parallel engine; comparing against BenchmarkRSTkNNQuery5k
+// shows the fan-out overhead (1-CPU machines) or speedup (multi-core).
+func BenchmarkRSTkNNQuery5kWorkers4(b *testing.B) {
+	tree, queries := benchTree(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, err := core.RSTkNN(tree, core.Query{Loc: q.Loc, Doc: q.Doc},
+			core.Options{K: 10, Alpha: 0.5, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVectorNew(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	maps := make([]map[vector.TermID]float64, 64)
+	for i := range maps {
+		m := make(map[vector.TermID]float64, 12)
+		for j := 0; j < 12; j++ {
+			m[vector.TermID(rng.Intn(200))] = rng.Float64() + 0.1
+		}
+		maps[i] = m
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vector.New(maps[i%len(maps)])
+	}
+}
+
 func BenchmarkTopKQuery5k(b *testing.B) {
 	tree, queries := benchTree(b, 5000)
 	b.ReportAllocs()

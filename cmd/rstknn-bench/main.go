@@ -9,6 +9,13 @@
 //	rstknn-bench -scale 0.1      # 10% of the paper-scale dataset sizes
 //	rstknn-bench -queries 50     # average over more queries per point
 //	rstknn-bench -profile sb     # SB-shaped collection
+//
+// The -json mode runs the intra-query scaling benchmark instead of the
+// experiment tables and writes a machine-readable BENCH_<label>.json
+// (sequential vs parallel ns/op, allocs/op, node reads per worker count):
+//
+//	rstknn-bench -json baseline -seed 7              # BENCH_baseline.json
+//	rstknn-bench -json pr42 -workers 1,4 -benchiters 5
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,6 +49,11 @@ func run(args []string, out io.Writer) error {
 		profile  = fs.String("profile", "gn", "dataset profile: gn|sb|uniform")
 		parallel = fs.Int("parallel", 0, "worker count for the parallel-throughput experiment (F13); 0 = GOMAXPROCS")
 		list     = fs.Bool("list", false, "list experiments and exit")
+
+		jsonLabel  = fs.String("json", "", "write the intra-query scaling benchmark to BENCH_<label>.json instead of running experiments")
+		jsonDir    = fs.String("benchdir", ".", "directory the BENCH_<label>.json is written to")
+		workers    = fs.String("workers", "1,2,4,8", "comma-separated worker counts for -json (1 = sequential)")
+		benchiters = fs.Int("benchiters", 3, "timed passes over the workload per worker count in -json mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +76,9 @@ func run(args []string, out io.Writer) error {
 		Profile:     p,
 		Parallelism: *parallel,
 	}
+	if *jsonLabel != "" {
+		return runJSON(cfg, out, *jsonLabel, *jsonDir, *workers, *benchiters)
+	}
 	fmt.Fprintf(out, "rstknn-bench: scale=%g queries=%d seed=%d profile=%s\n",
 		*scale, *queries, *seed, p)
 	start := time.Now()
@@ -81,5 +98,34 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	fmt.Fprintf(out, "\ntotal: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runJSON executes the intra-query scaling benchmark and writes
+// BENCH_<label>.json, echoing a human-readable summary to out.
+func runJSON(cfg bench.Config, out io.Writer, label, dir, workerList string, iters int) error {
+	var counts []int
+	for _, f := range strings.Split(workerList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("invalid -workers element %q", f)
+		}
+		counts = append(counts, n)
+	}
+	fmt.Fprintf(out, "rstknn-bench: json label=%s scale=%g queries=%d seed=%d workers=%v iters=%d\n",
+		label, cfg.Scale, cfg.Queries, cfg.Seed, counts, iters)
+	b, err := bench.RunBaseline(cfg, label, counts, iters)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+label+".json")
+	if err := b.WriteFile(path); err != nil {
+		return err
+	}
+	for _, r := range b.Rows {
+		fmt.Fprintf(out, "workers=%d  %12d ns/op  %8d allocs/op  %10.1f nodes/query  speedup %.2fx\n",
+			r.Workers, r.NsPerOp, r.AllocsPerOp, r.NodesRead, r.Speedup)
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }

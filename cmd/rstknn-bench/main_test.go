@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"rstknn/internal/bench"
 )
 
 func TestRunList(t *testing.T) {
@@ -55,5 +60,51 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-badflag"}, &buf); err == nil {
 		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunJSONBaseline(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-json", "smoke", "-benchdir", dir,
+		"-scale", "0.01", "-queries", "3", "-seed", "7",
+		"-workers", "1,2", "-benchiters", "1",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_smoke.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("baseline file not written: %v", err)
+	}
+	var b bench.Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if b.Label != "smoke" || b.Schema != 1 {
+		t.Errorf("label/schema = %q/%d, want smoke/1", b.Label, b.Schema)
+	}
+	if b.Machine.NumCPU < 1 || b.Machine.GoVersion == "" {
+		t.Errorf("machine metadata incomplete: %+v", b.Machine)
+	}
+	if len(b.Rows) != 2 || b.Rows[0].Workers != 1 || b.Rows[1].Workers != 2 {
+		t.Fatalf("rows = %+v, want worker counts 1,2", b.Rows)
+	}
+	for _, r := range b.Rows {
+		if r.NsPerOp <= 0 {
+			t.Errorf("workers=%d: ns/op = %d, want > 0", r.Workers, r.NsPerOp)
+		}
+		if r.NodesRead != b.Rows[0].NodesRead {
+			t.Errorf("workers=%d: nodes read %v differ from sequential %v",
+				r.Workers, r.NodesRead, b.Rows[0].NodesRead)
+		}
+	}
+	if !strings.Contains(buf.String(), "wrote "+path) {
+		t.Errorf("summary missing written path:\n%s", buf.String())
+	}
+	if err := run([]string{"-json", "x", "-benchdir", dir, "-workers", "1,zero"}, &buf); err == nil {
+		t.Error("bad -workers list should fail")
 	}
 }

@@ -186,9 +186,12 @@ func (bm *builtMethod) runQueries(queries []dataset.QueryObject, k int, alpha fl
 	for _, q := range queries {
 		var tracker storage.Tracker
 		start := time.Now()
+		// Workers is pinned to 1: these experiments reproduce the paper's
+		// sequential per-query costs. Intra-query scaling is measured
+		// separately by the -json baseline benchmark.
 		out, err := core.RSTkNN(bm.tree, core.Query{Loc: q.Loc, Doc: q.Doc}, core.Options{
 			K: k, Alpha: alpha, Sim: sim, Strategy: bm.strategy,
-			Tracker: &tracker,
+			Workers: 1, Tracker: &tracker,
 		})
 		if err != nil {
 			return agg, err

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rstknn/internal/core"
+	"rstknn/internal/dataset"
+	"rstknn/internal/storage"
+)
+
+// The benchmark-regression baseline: a machine-readable record of the
+// query engine's cost on the F13 workload, comparing the sequential
+// search against the intra-query parallel engine at several worker
+// counts. `rstknn-bench -json <label>` writes BENCH_<label>.json;
+// `make bench-baseline` regenerates the checked-in BENCH_baseline.json
+// with a pinned seed so perf changes show up in review diffs.
+//
+// Wall-clock numbers are hardware-dependent (Machine records the
+// environment; a 1-CPU container cannot show parallel speedup), but
+// AllocsPerOp and NodesRead are deterministic for a given seed, so
+// allocation and traversal regressions are comparable across machines.
+
+// Baseline is the serialized benchmark record.
+type Baseline struct {
+	// Label names the record; the file is BENCH_<label>.json.
+	Label string `json:"label"`
+	// Schema versions the JSON layout.
+	Schema int `json:"schema"`
+	// Machine captures the environment the numbers came from.
+	Machine BaselineMachine `json:"machine"`
+	// Workload pins the benchmarked query workload.
+	Workload BaselineWorkload `json:"workload"`
+	// Rows holds one measurement per worker count; Workers == 1 is the
+	// sequential engine every speedup is relative to.
+	Rows []BaselineRow `json:"rows"`
+}
+
+// BaselineMachine describes the benchmarking environment.
+type BaselineMachine struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// BaselineWorkload pins every input of the measurement.
+type BaselineWorkload struct {
+	Profile string  `json:"profile"`
+	Objects int     `json:"objects"`
+	Queries int     `json:"queries"`
+	K       int     `json:"k"`
+	Alpha   float64 `json:"alpha"`
+	Seed    int64   `json:"seed"`
+	Iters   int     `json:"iters"`
+}
+
+// BaselineRow is the measurement at one worker count. NsPerOp is
+// wall-clock per query; AllocsPerOp/BytesPerOp count heap allocations per
+// query; NodesRead is the mean tree nodes read per query and must be
+// identical across rows (the engine is deterministic in Workers).
+type BaselineRow struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	NodesRead   float64 `json:"nodes_read_per_query"`
+	Results     float64 `json:"results_per_query"`
+	Speedup     float64 `json:"speedup_vs_sequential"`
+}
+
+// RunBaseline builds the F13 workload at the config's scale and measures
+// the RSTkNN engine at each worker count, iters timed passes per count
+// (after one untimed warm-up pass that also verifies cross-count
+// determinism). workerCounts must start with 1 or include it; speedups
+// are computed against the Workers == 1 row.
+func RunBaseline(cfg Config, label string, workerCounts []int, iters int) (*Baseline, error) {
+	cfg = cfg.withDefaults()
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if iters <= 0 {
+		iters = 1
+	}
+	col, queries := fixture(cfg, defaultN/2)
+	methods, err := buildMethods(col.Objects, []method{treeMethods[0]}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	bm := &methods[0]
+
+	b := &Baseline{
+		Label:  label,
+		Schema: 1,
+		Machine: BaselineMachine{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Workload: BaselineWorkload{
+			Profile: fmt.Sprint(cfg.Profile),
+			Objects: len(col.Objects),
+			Queries: len(queries),
+			K:       defaultK,
+			Alpha:   defaultAlpha,
+			Seed:    cfg.Seed,
+			Iters:   iters,
+		},
+	}
+
+	var refSums []int64
+	var seqNs int64
+	for _, workers := range workerCounts {
+		row, sums, err := measureWorkers(bm, queries, workers, iters)
+		if err != nil {
+			return nil, err
+		}
+		if refSums == nil {
+			refSums = sums
+		} else {
+			for i := range sums {
+				if sums[i] != refSums[i] {
+					return nil, fmt.Errorf("bench: query %d result differs at %d workers — parallel engine is not deterministic", i, workers)
+				}
+			}
+		}
+		if workers == 1 {
+			seqNs = row.NsPerOp
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	for i := range b.Rows {
+		if seqNs > 0 && b.Rows[i].NsPerOp > 0 {
+			b.Rows[i].Speedup = float64(seqNs) / float64(b.Rows[i].NsPerOp)
+		}
+	}
+	return b, nil
+}
+
+// measureWorkers times the workload at one worker count and returns the
+// row plus the per-query result checksums of the warm-up pass (for the
+// cross-count determinism check).
+func measureWorkers(bm *builtMethod, queries []dataset.QueryObject, workers, iters int) (BaselineRow, []int64, error) {
+	run := func(q dataset.QueryObject) (*core.Outcome, error) {
+		var tracker storage.Tracker
+		return core.RSTkNN(bm.tree, core.Query{Loc: q.Loc, Doc: q.Doc}, core.Options{
+			K: defaultK, Alpha: defaultAlpha, Strategy: bm.strategy,
+			Workers: workers, Tracker: &tracker,
+		})
+	}
+
+	// Warm-up pass: populates scratch pools and collects the checksums
+	// and work counters the timed passes are compared against.
+	row := BaselineRow{Workers: workers}
+	sums := make([]int64, len(queries))
+	for i, q := range queries {
+		out, err := run(q)
+		if err != nil {
+			return row, nil, err
+		}
+		var sum int64
+		for _, id := range out.Results {
+			sum = sum*1000003 + int64(id)
+		}
+		sums[i] = sum
+		row.NodesRead += float64(out.Metrics.NodesRead)
+		row.Results += float64(len(out.Results))
+	}
+	row.NodesRead /= float64(len(queries))
+	row.Results /= float64(len(queries))
+
+	ops := iters * len(queries)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		for _, q := range queries {
+			if _, err := run(q); err != nil {
+				return row, nil, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	row.NsPerOp = elapsed.Nanoseconds() / int64(ops)
+	row.AllocsPerOp = int64(after.Mallocs-before.Mallocs) / int64(ops)
+	row.BytesPerOp = int64(after.TotalAlloc-before.TotalAlloc) / int64(ops)
+	return row, sums, nil
+}
+
+// WriteFile serializes the baseline to path as indented JSON.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

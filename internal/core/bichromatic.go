@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rstknn/internal/iurtree"
 	"rstknn/internal/pq"
@@ -81,6 +83,11 @@ type BichromaticOptions struct {
 	K     int
 	Alpha float64
 	Sim   vector.TextSim
+	// Workers bounds the parallelism of the per-user loop, which is
+	// embarrassingly parallel: each user's influence test is independent.
+	// Values <= 0 default to runtime.GOMAXPROCS(0); 1 runs sequentially.
+	// The outcome is identical at every worker count.
+	Workers int
 	// Ctx, when non-nil, cancels the query: it is checked before every
 	// node read and between users.
 	Ctx context.Context
@@ -106,26 +113,91 @@ func BichromaticRSTkNN(facilities *iurtree.Tree, users []iurtree.Object, q Query
 		return nil, fmt.Errorf("core: Alpha must be in [0,1], got %g", opt.Alpha)
 	}
 	out := &BichromaticOutcome{}
-	sc := NewScorer(opt.Alpha, facilities.MaxD(), opt.Sim)
-	for i := range users {
-		u := &users[i]
-		if err := checkCtx(opt.Ctx); err != nil {
-			return nil, err
-		}
-		uq := Query{Loc: u.Loc, Doc: u.Doc}
-		s0 := sc.Exact(u.Loc, u.Doc, q.Loc, q.Doc)
-		better, m, err := CountExceeding(facilities, uq, s0, opt.K, opt)
-		if err != nil {
-			return nil, err
-		}
-		out.Metrics.NodesRead += m.NodesRead
-		out.Metrics.ExactSims += m.ExactSims
-		out.Metrics.BoundEvals += m.BoundEvals
-		if better < opt.K {
-			out.UserIDs = append(out.UserIDs, u.ID)
-		}
+	workers := effectiveWorkers(opt.Workers)
+	if workers > len(users) {
+		workers = len(users)
 	}
-	out.Metrics.ExactSims += sc.ExactCount
+	if workers <= 1 {
+		sc := NewScorer(opt.Alpha, facilities.MaxD(), opt.Sim)
+		for i := range users {
+			if err := checkCtx(opt.Ctx); err != nil {
+				return nil, err
+			}
+			influenced, m, err := testUser(facilities, &users[i], &q, sc, opt)
+			if err != nil {
+				return nil, err
+			}
+			out.Metrics.add(&m)
+			if influenced {
+				out.UserIDs = append(out.UserIDs, users[i].ID)
+			}
+		}
+		out.Metrics.ExactSims += sc.ExactCount
+		sort.Slice(out.UserIDs, func(i, j int) bool { return out.UserIDs[i] < out.UserIDs[j] })
+		return out, nil
+	}
+
+	// Each user's influence test is independent, so the loop fans out
+	// across a worker pool. Every worker has a private scorer and private
+	// accumulators; metrics are sums and the ID set is sorted, so the
+	// merged outcome is identical to the sequential loop's.
+	type tally struct {
+		ids     []int32
+		metrics Metrics
+		err     error
+	}
+	tallies := make([]tally, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(t *tally) {
+			defer wg.Done()
+			sc := NewScorer(opt.Alpha, facilities.MaxD(), opt.Sim)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(users) {
+					break
+				}
+				if err := checkCtx(opt.Ctx); err != nil {
+					t.err = err
+					return
+				}
+				influenced, m, err := testUser(facilities, &users[i], &q, sc, opt)
+				if err != nil {
+					t.err = err
+					return
+				}
+				t.metrics.add(&m)
+				if influenced {
+					t.ids = append(t.ids, users[i].ID)
+				}
+			}
+			t.metrics.ExactSims += sc.ExactCount
+		}(&tallies[w])
+	}
+	wg.Wait()
+	for i := range tallies {
+		if tallies[i].err != nil {
+			return nil, tallies[i].err
+		}
+		out.Metrics.add(&tallies[i].metrics)
+		out.UserIDs = append(out.UserIDs, tallies[i].ids...)
+	}
 	sort.Slice(out.UserIDs, func(i, j int) bool { return out.UserIDs[i] < out.UserIDs[j] })
 	return out, nil
+}
+
+// testUser decides whether the query facility influences one user: it is
+// influenced iff strictly fewer than opt.K facilities beat the query's
+// similarity to the user. The caller-owned scorer accumulates the exact
+// similarity evaluated here; traversal work is returned in m.
+func testUser(facilities *iurtree.Tree, u *iurtree.Object, q *Query, sc *Scorer, opt BichromaticOptions) (influenced bool, m Metrics, err error) {
+	uq := Query{Loc: u.Loc, Doc: u.Doc}
+	s0 := sc.Exact(u.Loc, u.Doc, q.Loc, q.Doc)
+	better, m, err := CountExceeding(facilities, uq, s0, opt.K, opt)
+	if err != nil {
+		return false, m, err
+	}
+	return better < opt.K, m, nil
 }

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rstknn/internal/core"
+	"rstknn/internal/storage"
+)
+
+// boundRecorder collects the final kNN bounds of every object-level
+// verdict via Options.BoundTrace, locked because the parallel engine
+// fires the hook from multiple workers.
+type boundRecorder struct {
+	mu     sync.Mutex
+	bounds map[int32][2]float64
+}
+
+func newBoundRecorder() *boundRecorder {
+	return &boundRecorder{bounds: make(map[int32][2]float64)}
+}
+
+func (r *boundRecorder) trace(objID int32, knnl, knnu float64) {
+	r.mu.Lock()
+	r.bounds[objID] = [2]float64{knnl, knnu}
+	r.mu.Unlock()
+}
+
+// TestBichromaticParallelMatchesSequential pins the same property for
+// the bichromatic per-user fan-out: influenced-user sets and summed
+// Metrics are identical at every worker count.
+func TestBichromaticParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	facilities := genObjects(rng, 250, 25, 5)
+	users := genObjects(rng, 90, 25, 5)
+	tree := buildTree(t, facilities, 0, false)
+	for _, k := range []int{1, 3, 8} {
+		q := genQuery(rng, 25, 5)
+		run := func(workers int) *core.BichromaticOutcome {
+			got, err := core.BichromaticRSTkNN(tree, users, q, core.BichromaticOptions{
+				K: k, Alpha: 0.4, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("k=%d workers=%d: %v", k, workers, err)
+			}
+			return got
+		}
+		seq := run(1)
+		for _, workers := range []int{2, 4, 8} {
+			par := run(workers)
+			if !idsEqual(par.UserIDs, seq.UserIDs) {
+				t.Errorf("k=%d workers=%d: users %v != sequential %v",
+					k, workers, par.UserIDs, seq.UserIDs)
+			}
+			if par.Metrics != seq.Metrics {
+				t.Errorf("k=%d workers=%d: metrics %+v != sequential %+v",
+					k, workers, par.Metrics, seq.Metrics)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the determinism property test for the
+// intra-query parallel engine: for random datasets across tree variants,
+// refinement strategies, k, and alpha, the parallel search at every
+// worker count must reproduce the sequential run exactly — same result
+// IDs, same Metrics, and bit-identical per-object kNN bounds.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	configs := []struct {
+		name     string
+		clusters int
+		strategy core.RefineStrategy
+	}{
+		{"iur-maxupper", 0, core.RefineByMaxUpper},
+		{"iur-entropy", 0, core.RefineByEntropy},
+		{"ciur-maxupper", 6, core.RefineByMaxUpper},
+		{"ciur-entropy", 6, core.RefineByEntropy},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			objs := genObjects(rng, 200+rng.Intn(150), 40, 6)
+			tree := buildTree(t, objs, cfg.clusters, false)
+			for trial := 0; trial < 4; trial++ {
+				k := []int{1, 3, 10}[rng.Intn(3)]
+				alpha := []float64{0, 0.5, 1}[rng.Intn(3)]
+				q := genQuery(rng, 40, 6)
+
+				run := func(workers int) (*core.Outcome, *boundRecorder) {
+					rec := newBoundRecorder()
+					var tracker storage.Tracker
+					out, err := core.RSTkNN(tree, q, core.Options{
+						K: k, Alpha: alpha, Strategy: cfg.strategy,
+						Workers: workers, Tracker: &tracker,
+						BoundTrace: rec.trace,
+					})
+					if err != nil {
+						t.Fatalf("workers=%d k=%d alpha=%g: %v", workers, k, alpha, err)
+					}
+					return out, rec
+				}
+
+				seq, seqRec := run(1)
+				for _, workers := range []int{2, 4, 8} {
+					par, parRec := run(workers)
+					tag := fmt.Sprintf("trial %d k=%d alpha=%g workers=%d", trial, k, alpha, workers)
+					if !idsEqual(par.Results, seq.Results) {
+						t.Errorf("%s: results %v != sequential %v", tag, par.Results, seq.Results)
+					}
+					if par.Metrics != seq.Metrics {
+						t.Errorf("%s: metrics %+v != sequential %+v", tag, par.Metrics, seq.Metrics)
+					}
+					if len(parRec.bounds) != len(seqRec.bounds) {
+						t.Errorf("%s: %d object verdicts != sequential %d",
+							tag, len(parRec.bounds), len(seqRec.bounds))
+					}
+					for id, want := range seqRec.bounds {
+						got, ok := parRec.bounds[id]
+						if !ok {
+							t.Errorf("%s: object %d missing from parallel verdicts", tag, id)
+							continue
+						}
+						if got != want {
+							t.Errorf("%s: object %d kNN bounds %v != sequential %v", tag, id, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}

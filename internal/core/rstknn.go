@@ -3,7 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rstknn/internal/iurtree"
 	"rstknn/internal/pq"
@@ -62,6 +65,19 @@ type Options struct {
 	// the DESIGN.md ablation; lazy (false) is strictly better in
 	// practice because pruned groups never pay for tight bounds.
 	EagerBounds bool
+	// Workers bounds the intra-query parallelism: the candidate frontier
+	// is processed in rounds, fanning the per-candidate work (bound
+	// tightening, hit/prune decisions, node reads) across this many
+	// goroutines. Values <= 0 default to runtime.GOMAXPROCS(0); 1 runs
+	// the classic sequential best-first loop. Every verdict depends only
+	// on the candidate's own contribution list, so results and Metrics
+	// are identical at every worker count.
+	Workers int
+	// BoundTrace, when non-nil, is invoked with the final kNN bounds of
+	// every object-level candidate the moment it is decided. It exists
+	// for determinism tests and debugging; it must be safe for
+	// concurrent use when Workers != 1.
+	BoundTrace func(objID int32, knnl, knnu float64)
 	// Ctx, when non-nil, makes the query cancellable: it is checked
 	// before every node read (expansions and contributor refinements),
 	// and the search aborts with ctx.Err() once it is done.
@@ -81,8 +97,18 @@ func checkCtx(ctx context.Context) error {
 	return ctx.Err()
 }
 
+// effectiveWorkers resolves the Workers option to a concrete pool size.
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
 // Metrics reports the work one query performed. Simulated I/O is tracked
-// separately on the tree's storage layer.
+// separately on the tree's storage layer. Every counter is a sum of
+// per-candidate contributions, so the totals are identical whether the
+// candidates were processed sequentially or across a worker pool.
 type Metrics struct {
 	// NodesRead is the number of tree nodes fetched from storage.
 	NodesRead int
@@ -100,6 +126,18 @@ type Metrics struct {
 	// re-tightenings of inherited bounds.
 	Refinements int
 	Rebounds    int
+}
+
+// add accumulates o into m.
+func (m *Metrics) add(o *Metrics) {
+	m.NodesRead += o.NodesRead
+	m.ExactSims += o.ExactSims
+	m.BoundEvals += o.BoundEvals
+	m.GroupPruned += o.GroupPruned
+	m.GroupReported += o.GroupReported
+	m.Candidates += o.Candidates
+	m.Refinements += o.Refinements
+	m.Rebounds += o.Rebounds
 }
 
 // Outcome is the result of one RSTkNN query.
@@ -132,6 +170,13 @@ type candidate struct {
 	groups []*group
 }
 
+// queued is a candidate with its queue priority (the best query upper
+// bound among its groups).
+type queued struct {
+	c   *candidate
+	pri float64
+}
+
 // RSTkNN answers the reverse spatial-textual k nearest neighbor query on
 // a sealed IUR-tree or CIUR-tree: it returns every indexed object o such
 // that SimST(o, q) >= SimST(o, o_k), where o_k is o's k-th most similar
@@ -152,61 +197,98 @@ func RSTkNN(t *iurtree.Tree, q Query, opt Options) (*Outcome, error) {
 		return out, nil
 	}
 	s := &searcher{
-		tree:   t,
-		scorer: NewScorer(opt.Alpha, t.MaxD(), opt.Sim),
-		opt:    opt,
-		out:    out,
+		tree:    t,
+		opt:     opt,
+		out:     out,
+		workers: effectiveWorkers(opt.Workers),
 	}
 	if err := s.run(&q); err != nil {
 		return nil, err
 	}
-	out.Metrics.ExactSims = s.scorer.ExactCount
-	out.Metrics.BoundEvals = s.scorer.BoundCount
 	sort.Slice(out.Results, func(i, j int) bool { return out.Results[i] < out.Results[j] })
 	return out, nil
 }
 
+// searcher coordinates one query: it seeds the candidate frontier, drives
+// it to exhaustion (sequentially or in parallel rounds), and merges the
+// per-worker tallies into the Outcome.
 type searcher struct {
-	tree   *iurtree.Tree
-	scorer *Scorer
-	opt    Options
-	out    *Outcome
-	// selLo/selHi are reused across every kNN-bound evaluation of the
-	// query to avoid per-iteration allocation.
-	selLo, selHi kthSelector
+	tree    *iurtree.Tree
+	opt     Options
+	out     *Outcome
+	workers int
 }
 
-func (s *searcher) readNode(id storage.NodeID) (*iurtree.Node, error) {
-	if err := checkCtx(s.opt.Ctx); err != nil {
+// worker owns everything one goroutine touches while deciding candidates:
+// a private Scorer (so similarity counters need no synchronization), a
+// pooled scratch, and local result/metric accumulators. All cross-worker
+// aggregates are sums or sets, so the merge is order-independent and the
+// outcome identical to a sequential run.
+type worker struct {
+	s       *searcher
+	scorer  Scorer
+	scratch *scratch
+	metrics Metrics
+	results []int32
+}
+
+// newWorker prepares one worker for the searcher.
+func (s *searcher) newWorker() *worker {
+	return &worker{
+		s:       s,
+		scorer:  *NewScorer(s.opt.Alpha, s.tree.MaxD(), s.opt.Sim),
+		scratch: getScratch(),
+	}
+}
+
+// close merges the worker's tallies into the outcome and recycles its
+// scratch. Call only after every candidate referencing the scratch's
+// arenas is decided.
+func (w *worker) close() {
+	w.metrics.ExactSims += w.scorer.ExactCount
+	w.metrics.BoundEvals += w.scorer.BoundCount
+	w.s.out.Metrics.add(&w.metrics)
+	w.s.out.Results = append(w.s.out.Results, w.results...)
+	w.scratch.release()
+	w.scratch = nil
+}
+
+func (w *worker) readNode(id storage.NodeID) (*iurtree.Node, error) {
+	if err := checkCtx(w.s.opt.Ctx); err != nil {
 		return nil, err
 	}
-	n, err := s.tree.ReadNodeTracked(id, s.opt.Tracker)
+	n, err := w.s.tree.ReadNodeTracked(id, w.s.opt.Tracker)
 	if err != nil {
 		return nil, err
 	}
-	s.out.Metrics.NodesRead++
+	w.metrics.NodesRead++
 	return n, nil
 }
 
+// run seeds the frontier with the root's children and drains it.
 func (s *searcher) run(q *Query) error {
 	root := s.tree.RootEntry()
+	w0 := s.newWorker()
 	if root.Count == 1 {
 		// A single object: it has no neighbors, so the k-th NN similarity
 		// is -Inf and the object is always a result.
-		n, err := s.readNode(root.Child)
+		n, err := w0.readNode(root.Child)
 		if err != nil {
+			w0.close()
 			return err
 		}
-		s.out.Metrics.Candidates++
-		s.out.Results = append(s.out.Results, n.Entries[0].ObjID)
+		w0.metrics.Candidates++
+		w0.results = append(w0.results, n.Entries[0].ObjID)
+		w0.close()
 		return nil
 	}
 
 	// Seed: the root's children, every cluster group undecided, each
 	// child contributing to the others. The pseudo parent groups carry
 	// empty contribution lists.
-	rootNode, err := s.readNode(root.Child)
+	rootNode, err := w0.readNode(root.Child)
 	if err != nil {
+		w0.close()
 		return err
 	}
 	seeds := make([]*group, 0, len(root.Clusters)+1)
@@ -217,16 +299,101 @@ func (s *searcher) run(q *Query) error {
 	} else {
 		seeds = append(seeds, &group{cluster: -1})
 	}
-	queue := pq.NewMax[*candidate]()
-	s.pushChildren(queue, &root, rootNode.Entries, seeds, q)
+	first := w0.buildChildren(&root, rootNode.Entries, seeds, q)
 
+	if s.workers == 1 {
+		err = s.runSequential(w0, first, q)
+		w0.close()
+		return err
+	}
+	return s.runRounds(w0, first, q)
+}
+
+// runSequential is the classic best-first loop: one candidate at a time,
+// popped in descending query-upper-bound order.
+func (s *searcher) runSequential(w *worker, first []queued, q *Query) error {
+	queue := pq.NewMax[*candidate]()
+	for _, qc := range first {
+		queue.Push(qc.c, qc.pri)
+	}
 	for !queue.Empty() {
 		c, _ := queue.Pop()
-		if err := s.process(queue, c, q); err != nil {
+		children, err := w.process(c, q)
+		if err != nil {
 			return err
+		}
+		for _, qc := range children {
+			queue.Push(qc.c, qc.pri)
 		}
 	}
 	return nil
+}
+
+// runRounds is the intra-query parallel engine: the whole frontier is
+// processed per round, with candidates fanned across the worker pool.
+// Every group's verdict depends only on its own contribution list — never
+// on another candidate or on processing order — so the only coordination
+// is the round barrier, and the merged outcome is bit-identical to the
+// sequential engine's. w0 (which already carries the seed-phase tallies)
+// serves as worker 0.
+func (s *searcher) runRounds(w0 *worker, first []queued, q *Query) error {
+	ws := make([]*worker, s.workers)
+	ws[0] = w0
+	for i := 1; i < len(ws); i++ {
+		ws[i] = s.newWorker()
+	}
+	// Workers are closed (merging tallies, recycling arenas) only after
+	// the frontier is fully drained: a candidate built by one worker may
+	// reference arena-backed bounds owned by another until it is decided.
+	defer func() {
+		for _, w := range ws {
+			w.close()
+		}
+	}()
+
+	round := first
+	var firstErr error
+	for len(round) > 0 && firstErr == nil {
+		children := make([][]queued, len(round))
+		errs := make([]error, len(round))
+		if len(round) == 1 {
+			// Degenerate round: skip the fan-out machinery.
+			children[0], errs[0] = ws[0].process(round[0].c, q)
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			spawn := s.workers
+			if spawn > len(round) {
+				spawn = len(round)
+			}
+			for i := 0; i < spawn; i++ {
+				wg.Add(1)
+				go func(w *worker) {
+					defer wg.Done()
+					for {
+						j := int(next.Add(1)) - 1
+						if j >= len(round) {
+							return
+						}
+						children[j], errs[j] = w.process(round[j].c, q)
+					}
+				}(ws[i])
+			}
+			wg.Wait()
+		}
+		// Deterministic merge: children enter the next round in frontier
+		// order. (Order does not affect verdicts; it keeps runs
+		// reproducible for debugging.)
+		var next []queued
+		for i := range children {
+			if errs[i] != nil && firstErr == nil {
+				firstErr = errs[i]
+			}
+			next = append(next, children[i]...)
+		}
+		round = next
+	}
+	return firstErr
 }
 
 // clusterGroupOf returns the child's cluster summary matching the parent
@@ -245,7 +412,12 @@ func clusterGroupOf(e *iurtree.Entry, cluster int32) *iurtree.ClusterSummary {
 	return nil
 }
 
-// pushChildren turns the entries of an expanded node into candidates.
+// contribHeadroom is the arena growth slack reserved on every new
+// contribution list so in-place refinement appends (which replace one
+// contributor with a node's children) usually stay inside the carve.
+const contribHeadroom = 8
+
+// buildChildren turns the entries of an expanded node into candidates.
 // Each surviving parent group is projected onto every child that holds
 // objects of its cluster; the child group inherits the parent group's
 // contribution list and gains the child's siblings as contributors.
@@ -253,9 +425,14 @@ func clusterGroupOf(e *iurtree.Entry, cluster int32) *iurtree.ClusterSummary {
 // marked stale — valid for the group because its objects are a subset of
 // what the bounds cover — and are tightened lazily when the group is
 // processed, keeping expansion cost linear in the fan-out.
-func (s *searcher) pushChildren(queue *pq.Queue[*candidate], parent *iurtree.Entry, children []iurtree.Entry, parentGroups []*group, q *Query) {
+//
+// The returned candidates (and the arena-backed bounds they reference)
+// are only published to other workers through the round barrier, so the
+// scratch-owning worker is the sole writer until then.
+func (w *worker) buildChildren(parent *iurtree.Entry, children []iurtree.Entry, parentGroups []*group, q *Query) []queued {
 	parentSide := sideOf(parent)
-	var sibParts [][]part // lazily computed once, shared by all groups
+	sibParts := w.scratch.sibParts[:0] // lazily filled once, shared by all groups
+	var out []queued
 	for i := range children {
 		child := &children[i]
 		var groups []*group
@@ -264,10 +441,9 @@ func (s *searcher) pushChildren(queue *pq.Queue[*candidate], parent *iurtree.Ent
 			if cs == nil || cs.Count == 0 {
 				continue
 			}
-			if sibParts == nil {
-				sibParts = make([][]part, len(children))
+			if len(sibParts) == 0 {
 				for j := range children {
-					sibParts[j] = s.scorer.entryBounds(parentSide, &children[j])
+					sibParts = append(sibParts, w.scorer.entryBoundsInto(w.scratch, parentSide, &children[j]))
 				}
 			}
 			g := &group{
@@ -275,9 +451,9 @@ func (s *searcher) pushChildren(queue *pq.Queue[*candidate], parent *iurtree.Ent
 				env:     cs.Env,
 				count:   cs.Count,
 			}
-			g.q = s.scorer.queryBounds(side{rect: child.Rect, env: cs.Env, exact: child.IsObject()}, q)
-			g.cl.self = s.scorer.selfParts(child, pg.cluster, cs.Env, cs.Count)
-			g.cl.contributors = make([]contributor, 0, len(pg.cl.contributors)+len(children)-1)
+			g.q = w.scorer.queryBounds(side{rect: child.Rect, env: cs.Env, exact: child.IsObject()}, q)
+			g.cl.self = w.scorer.selfPartsInto(w.scratch, child, pg.cluster, cs.Env, cs.Count)
+			g.cl.contributors = allocContribs(w.scratch, len(pg.cl.contributors)+len(children)-1, contribHeadroom)
 			for j := range pg.cl.contributors {
 				g.cl.contributors = append(g.cl.contributors, contributor{
 					entry: pg.cl.contributors[j].entry,
@@ -295,9 +471,9 @@ func (s *searcher) pushChildren(queue *pq.Queue[*candidate], parent *iurtree.Ent
 					stale: true,
 				})
 			}
-			if s.opt.EagerBounds {
+			if w.s.opt.EagerBounds {
 				gSide := side{rect: child.Rect, env: cs.Env, exact: child.IsObject()}
-				s.reboundStale(gSide, &g.cl)
+				w.reboundStale(gSide, &g.cl)
 			}
 			groups = append(groups, g)
 		}
@@ -310,8 +486,10 @@ func (s *searcher) pushChildren(queue *pq.Queue[*candidate], parent *iurtree.Ent
 				best = g.q.hi
 			}
 		}
-		queue.Push(&candidate{entry: *child, groups: groups}, best)
+		out = append(out, queued{c: &candidate{entry: *child, groups: groups}, pri: best})
 	}
+	w.scratch.sibParts = sibParts[:0]
+	return out
 }
 
 // verdict is the outcome of deciding one group.
@@ -324,29 +502,30 @@ const (
 )
 
 // process drives every group of a candidate to a decision, expanding the
-// entry (one node read) for the groups that stay undecided.
-func (s *searcher) process(queue *pq.Queue[*candidate], c *candidate, q *Query) error {
+// entry (one node read) for the groups that stay undecided, and returns
+// the resulting child candidates.
+func (w *worker) process(c *candidate, q *Query) ([]queued, error) {
 	var pending []*group
 	for _, g := range c.groups {
-		v, err := s.decideGroup(c, g)
+		v, err := w.decideGroup(c, g)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		switch v {
 		case verdictPruned:
 			if c.entry.IsObject() {
-				s.out.Metrics.Candidates++
+				w.metrics.Candidates++
 			} else {
-				s.out.Metrics.GroupPruned += int(g.count)
+				w.metrics.GroupPruned += int(g.count)
 			}
 		case verdictReported:
 			if c.entry.IsObject() {
-				s.out.Metrics.Candidates++
-				s.out.Results = append(s.out.Results, c.entry.ObjID)
+				w.metrics.Candidates++
+				w.results = append(w.results, c.entry.ObjID)
 			} else {
-				s.out.Metrics.GroupReported += int(g.count)
-				if err := s.collect(&c.entry, g.cluster); err != nil {
-					return err
+				w.metrics.GroupReported += int(g.count)
+				if err := w.collect(&c.entry, g.cluster); err != nil {
+					return nil, err
 				}
 			}
 		case verdictExpand:
@@ -354,14 +533,13 @@ func (s *searcher) process(queue *pq.Queue[*candidate], c *candidate, q *Query) 
 		}
 	}
 	if len(pending) == 0 {
-		return nil
+		return nil, nil
 	}
-	node, err := s.readNode(c.entry.Child)
+	node, err := w.readNode(c.entry.Child)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	s.pushChildren(queue, &c.entry, node.Entries, pending, q)
-	return nil
+	return w.buildChildren(&c.entry, node.Entries, pending, q), nil
 }
 
 // decideGroup evaluates one group against the two pruning rules,
@@ -370,30 +548,37 @@ func (s *searcher) process(queue *pq.Queue[*candidate], c *candidate, q *Query) 
 // replace a contributor node with its children (one node read each).
 // Object-level groups always reach a decision; internal groups may return
 // verdictExpand once rebounds and the refinement budget are exhausted.
-func (s *searcher) decideGroup(c *candidate, g *group) (verdict, error) {
-	groupBudget := s.opt.GroupRefine
+func (w *worker) decideGroup(c *candidate, g *group) (verdict, error) {
+	groupBudget := w.s.opt.GroupRefine
 	gSide := side{rect: c.entry.Rect, env: g.env, exact: c.entry.IsObject()}
+	sc := w.scratch
 	for {
-		s.selLo.reset(s.opt.K)
-		s.selHi.reset(s.opt.K)
-		g.cl.knnBoundsInto(&s.selLo, &s.selHi)
-		knnl, knnu := s.selLo.kth(), s.selHi.kth()
+		sc.selLo.reset(w.s.opt.K)
+		sc.selHi.reset(w.s.opt.K)
+		g.cl.knnBoundsInto(&sc.selLo, &sc.selHi)
+		knnl, knnu := sc.selLo.kth(), sc.selHi.kth()
 		if g.q.hi < knnl {
 			// Rule 1: the query can never reach any member's top-k.
+			if c.entry.IsObject() && w.s.opt.BoundTrace != nil {
+				w.s.opt.BoundTrace(c.entry.ObjID, knnl, knnu)
+			}
 			return verdictPruned, nil
 		}
 		if g.q.lo >= knnu {
 			// Rule 2: the query ranks within every member's top-k.
+			if c.entry.IsObject() && w.s.opt.BoundTrace != nil {
+				w.s.opt.BoundTrace(c.entry.ObjID, knnl, knnu)
+			}
 			return verdictReported, nil
 		}
 		// Tier 1: make every inherited bound group-relative (pure CPU).
 		// Loose ancestor-level lower bounds keep kNNL artificially low,
 		// so all of them are tightened in one pass the first time the
 		// group turns out to be undecided.
-		if s.reboundStale(gSide, &g.cl) {
+		if w.reboundStale(gSide, &g.cl) {
 			continue
 		}
-		idx := g.cl.refinable(s.opt.Strategy, s.tree.NumClusters(), knnu)
+		idx := g.cl.refinable(w.s.opt.Strategy, w.s.tree.NumClusters(), knnu)
 		if c.entry.IsObject() {
 			// Undecided object: refine its contribution list. The loop
 			// is guaranteed to decide once every contributor is a fresh
@@ -403,14 +588,14 @@ func (s *searcher) decideGroup(c *candidate, g *group) (verdict, error) {
 				return 0, fmt.Errorf("core: undecidable object %d with exact bounds [%g, %g], query %g",
 					c.entry.ObjID, knnl, knnu, g.q.lo)
 			}
-			if err := s.refine(gSide, &g.cl, idx); err != nil {
+			if err := w.refine(gSide, &g.cl, idx); err != nil {
 				return 0, err
 			}
 			continue
 		}
 		if groupBudget > 0 && idx >= 0 {
 			groupBudget--
-			if err := s.refine(gSide, &g.cl, idx); err != nil {
+			if err := w.refine(gSide, &g.cl, idx); err != nil {
 				return 0, err
 			}
 			continue
@@ -421,50 +606,53 @@ func (s *searcher) decideGroup(c *candidate, g *group) (verdict, error) {
 
 // reboundStale recomputes every stale contributor's bounds against the
 // group itself (they were inherited from an ancestor). No I/O. Returns
-// true when anything changed.
-func (s *searcher) reboundStale(gSide side, cl *contributionList) bool {
+// true when anything changed. The fresh parts replace the inherited slice
+// (which may be shared with sibling groups) — they never mutate it.
+func (w *worker) reboundStale(gSide side, cl *contributionList) bool {
 	changed := false
 	for i := range cl.contributors {
 		ct := &cl.contributors[i]
 		if !ct.stale {
 			continue
 		}
-		ct.parts = s.scorer.entryBounds(gSide, &ct.entry)
+		ct.parts = w.scorer.entryBoundsInto(w.scratch, gSide, &ct.entry)
 		ct.stale = false
-		s.out.Metrics.Rebounds++
+		w.metrics.Rebounds++
 		changed = true
 	}
 	return changed
 }
 
 // refine replaces contributor idx with its children, re-bounded against
-// the group.
-func (s *searcher) refine(gSide side, cl *contributionList, idx int) error {
-	node, err := s.readNode(cl.contributors[idx].entry.Child)
+// the group. The replacement buffer is scratch-owned: replace() copies it
+// into the contribution list, so it is reusable immediately.
+func (w *worker) refine(gSide side, cl *contributionList, idx int) error {
+	node, err := w.readNode(cl.contributors[idx].entry.Child)
 	if err != nil {
 		return err
 	}
-	s.out.Metrics.Refinements++
-	repl := make([]contributor, len(node.Entries))
+	w.metrics.Refinements++
+	repl := w.scratch.repl[:0]
 	for i := range node.Entries {
-		repl[i] = contributor{
+		repl = append(repl, contributor{
 			entry: node.Entries[i],
-			parts: s.scorer.entryBounds(gSide, &node.Entries[i]),
-		}
+			parts: w.scorer.entryBoundsInto(w.scratch, gSide, &node.Entries[i]),
+		})
 	}
 	cl.replace(idx, repl)
+	w.scratch.repl = repl[:0]
 	return nil
 }
 
 // collect appends the object IDs below e belonging to the given cluster
 // (every object when cluster < 0) to the result set, reading the subtree
 // (the I/O is charged like any other access).
-func (s *searcher) collect(e *iurtree.Entry, cluster int32) error {
+func (w *worker) collect(e *iurtree.Entry, cluster int32) error {
 	if e.IsObject() {
-		s.out.Results = append(s.out.Results, e.ObjID)
+		w.results = append(w.results, e.ObjID)
 		return nil
 	}
-	node, err := s.readNode(e.Child)
+	node, err := w.readNode(e.Child)
 	if err != nil {
 		return err
 	}
@@ -473,7 +661,7 @@ func (s *searcher) collect(e *iurtree.Entry, cluster int32) error {
 		if cluster >= 0 && clusterCount(child, cluster) == 0 {
 			continue
 		}
-		if err := s.collect(child, cluster); err != nil {
+		if err := w.collect(child, cluster); err != nil {
 			return err
 		}
 	}

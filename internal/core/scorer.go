@@ -127,15 +127,22 @@ type part struct {
 // When both sides are concrete objects the single part is the exact
 // similarity (unpadded).
 func (s *Scorer) entryBounds(a side, x *iurtree.Entry) []part {
+	return s.entryBoundsInto(nil, a, x)
+}
+
+// entryBoundsInto is the allocation-free form of entryBounds: the part
+// slice is carved from the worker's scratch arena (heap-allocated when sc
+// is nil), so the steady-state scoring path performs no allocation.
+func (s *Scorer) entryBoundsInto(sc *scratch, a side, x *iurtree.Entry) []part {
 	if a.exact && x.IsObject() {
 		v := s.Exact(a.rect.Min, a.env.Int, x.Loc(), x.Doc())
-		return []part{{lo: v, hi: v, count: 1}}
+		return append(allocParts(sc, 1), part{lo: v, hi: v, count: 1})
 	}
 	s.BoundCount++
 	maxS := 1 - a.rect.MinDist(x.Rect)/s.MaxD
 	minS := 1 - a.rect.MaxDist(x.Rect)/s.MaxD
 	if len(x.Clusters) > 1 {
-		parts := make([]part, 0, len(x.Clusters))
+		parts := allocParts(sc, len(x.Clusters))
 		for i := range x.Clusters {
 			cs := &x.Clusters[i]
 			loT, hiT := s.Sim.Bounds(a.env, cs.Env)
@@ -148,11 +155,11 @@ func (s *Scorer) entryBounds(a side, x *iurtree.Entry) []part {
 		return parts
 	}
 	loT, hiT := s.Sim.Bounds(a.env, x.Env)
-	return []part{{
+	return append(allocParts(sc, 1), part{
 		lo:    s.Alpha*minS + (1-s.Alpha)*loT - boundsPad,
 		hi:    s.Alpha*maxS + (1-s.Alpha)*hiT + boundsPad,
 		count: x.Count,
-	}}
+	})
 }
 
 // selfParts returns the contribution of a candidate's own subtree to each
@@ -164,6 +171,12 @@ func (s *Scorer) entryBounds(a side, x *iurtree.Entry) []part {
 // per-cluster bounding that gives the CIUR-tree its pruning power.
 // Spatial bounds use MinDist 0 and MaxDist = the node MBR diagonal.
 func (s *Scorer) selfParts(e *iurtree.Entry, clusterID int32, env vector.Envelope, count int32) []part {
+	return s.selfPartsInto(nil, e, clusterID, env, count)
+}
+
+// selfPartsInto is the allocation-free form of selfParts (see
+// entryBoundsInto).
+func (s *Scorer) selfPartsInto(sc *scratch, e *iurtree.Entry, clusterID int32, env vector.Envelope, count int32) []part {
 	if e.Count <= 1 {
 		return nil
 	}
@@ -182,9 +195,9 @@ func (s *Scorer) selfParts(e *iurtree.Entry, clusterID int32, env vector.Envelop
 		if p.count <= 0 {
 			return nil
 		}
-		return []part{p}
+		return append(allocParts(sc, 1), p)
 	}
-	parts := make([]part, 0, len(e.Clusters))
+	parts := allocParts(sc, len(e.Clusters))
 	for i := range e.Clusters {
 		cs := &e.Clusters[i]
 		n := cs.Count

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Warm scratch state must make the scoring hot path allocation-free:
+// selectors reuse their heap storage across pruning checks and arenas
+// recycle their chunks across queries. These tests pin that property.
+
+func TestKthSelectorWarmReuseAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 64)
+	counts := make([]int32, 64)
+	for i := range vals {
+		vals[i] = rng.Float64()
+		counts[i] = int32(1 + rng.Intn(4))
+	}
+	sc := getScratch()
+	defer sc.release()
+	// Warm pass grows the selector heaps to steady-state capacity.
+	sel := &sc.selLo
+	sel.reset(10)
+	for i := range vals {
+		sel.add(vals[i], counts[i])
+	}
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() {
+		sel.reset(10)
+		for i := range vals {
+			sel.add(vals[i], counts[i])
+		}
+		sink += sel.kth()
+	})
+	if allocs != 0 {
+		t.Errorf("warm kthSelector allocates %v per selection, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestArenaWarmReuseAllocFree(t *testing.T) {
+	sc := getScratch()
+	defer sc.release()
+	carve := func() {
+		for i := 0; i < 32; i++ {
+			p := allocParts(sc, 16)
+			_ = append(p, part{})
+			c := allocContribs(sc, 4, 4)
+			_ = append(c, contributor{})
+		}
+	}
+	// Warm pass makes the arenas grow their chunks once.
+	carve()
+	sc.parts.reset()
+	sc.contribs.reset()
+	allocs := testing.AllocsPerRun(50, func() {
+		carve()
+		sc.parts.reset()
+		sc.contribs.reset()
+	})
+	if allocs != 0 {
+		t.Errorf("warm arena carving allocates %v per query, want 0", allocs)
+	}
+}

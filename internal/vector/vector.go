@@ -29,7 +29,9 @@ type Vector struct {
 }
 
 // New builds a vector from a term->weight map. Terms with non-positive
-// weight are dropped.
+// weight are dropped. Construction is on the index-build hot path (one
+// call per document plus one per node envelope merge), so the term sort
+// avoids sort.Slice's closure/interface allocations.
 func New(w map[TermID]float64) Vector {
 	if len(w) == 0 {
 		return Vector{}
@@ -40,12 +42,55 @@ func New(w map[TermID]float64) Vector {
 			terms = append(terms, t)
 		}
 	}
-	sort.Slice(terms, func(i, j int) bool { return terms[i] < terms[j] })
+	sortTermIDs(terms)
 	weights := make([]float64, len(terms))
 	for i, t := range terms {
 		weights[i] = w[t]
 	}
 	return newVector(terms, weights)
+}
+
+// sortTermIDs sorts term IDs ascending without the sort.Slice
+// closure/reflection machinery: insertion sort for short runs, heapsort
+// above that (IDs are map keys, hence distinct — stability is moot).
+func sortTermIDs(a []TermID) {
+	if len(a) < 24 {
+		for i := 1; i < len(a); i++ {
+			v := a[i]
+			j := i - 1
+			for j >= 0 && a[j] > v {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = v
+		}
+		return
+	}
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownTermIDs(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDownTermIDs(a, 0, end)
+	}
+}
+
+func siftDownTermIDs(a []TermID, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
 }
 
 // newVector wraps pre-validated parallel slices, caching the norm.
@@ -129,15 +174,26 @@ func (v Vector) Equal(u Vector) bool {
 	return true
 }
 
-// Dot returns the inner product of v and u. Iteration is a merge over the
-// sorted term lists, so the summation order is deterministic for a given
-// pair of vectors — exact-similarity comparisons are reproducible.
+// Dot returns the inner product of v and u. It never allocates, and the
+// matched terms are always accumulated in ascending term order, so the
+// summation order — hence the exact float64 result — is identical across
+// both code paths below and deterministic for a given pair of vectors.
 func (v Vector) Dot(u Vector) float64 {
 	// Disjoint term ranges (distinct topical vocabularies, a frequent
 	// case on clustered trees) are detected in O(1).
 	if len(v.terms) == 0 || len(u.terms) == 0 ||
 		v.terms[len(v.terms)-1] < u.terms[0] || u.terms[len(u.terms)-1] < v.terms[0] {
 		return 0
+	}
+	// Asymmetric fast path: a short query vector against a wide node
+	// envelope (the dominant shape in entry bounds) binary-searches each
+	// short-side term in the remaining long side instead of merging
+	// through every long-side term.
+	if len(v.terms)*8 < len(u.terms) {
+		return dotAsymmetric(v, u)
+	}
+	if len(u.terms)*8 < len(v.terms) {
+		return dotAsymmetric(u, v)
 	}
 	var s float64
 	i, j := 0, 0
@@ -151,6 +207,35 @@ func (v Vector) Dot(u Vector) float64 {
 			i++
 		default:
 			j++
+		}
+	}
+	return s
+}
+
+// dotAsymmetric computes the inner product when small has far fewer terms
+// than large: O(|small| log |large|) via a shrinking binary-search window.
+// Matches accumulate in ascending term order, like the merge loop.
+func dotAsymmetric(small, large Vector) float64 {
+	var s float64
+	lo := 0
+	for i := range small.terms {
+		t := small.terms[i]
+		// Binary search for t in large.terms[lo:].
+		hi := len(large.terms)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if large.terms[mid] < t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= len(large.terms) {
+			break
+		}
+		if large.terms[lo] == t {
+			s += small.weights[i] * large.weights[lo]
+			lo++
 		}
 	}
 	return s

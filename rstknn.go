@@ -119,6 +119,15 @@ type Options struct {
 	NodeCache int
 	// FanoutMin/FanoutMax override the R-tree fan-out.
 	FanoutMin, FanoutMax int
+	// Workers bounds intra-query parallelism: each query's
+	// branch-and-bound frontier is processed in rounds fanned across
+	// this many goroutines (and Influence fans its per-user loop the
+	// same way). 0 defaults to runtime.GOMAXPROCS(0); 1 forces the
+	// sequential path. Results and QueryStats are identical at every
+	// setting — parallelism only changes wall-clock time. Queries issued
+	// through BatchQuery multiply this with the batch parallelism, so
+	// consider Workers=1 for batch-heavy serving.
+	Workers int
 	// Seed fixes clustering randomness.
 	Seed int64
 }
@@ -330,6 +339,7 @@ func (e *Engine) QueryVectorCtx(ctx context.Context, x, y float64, doc vector.Ve
 		Sim:         e.measure,
 		Strategy:    strategy,
 		GroupRefine: e.opt.GroupRefine,
+		Workers:     e.opt.Workers,
 		Ctx:         ctx,
 		Tracker:     &tracker,
 	})
@@ -431,7 +441,8 @@ func (e *Engine) InfluenceCtx(ctx context.Context, users []Object, x, y float64,
 	var tracker storage.Tracker
 	out, err := core.BichromaticRSTkNN(e.tree, us,
 		core.Query{Loc: geom.Point{X: x, Y: y}, Doc: e.vectorize(text)},
-		core.BichromaticOptions{K: k, Alpha: e.opt.Alpha, Sim: e.measure, Ctx: ctx, Tracker: &tracker})
+		core.BichromaticOptions{K: k, Alpha: e.opt.Alpha, Sim: e.measure,
+			Workers: e.opt.Workers, Ctx: ctx, Tracker: &tracker})
 	if err != nil {
 		return nil, err
 	}

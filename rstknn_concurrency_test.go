@@ -210,6 +210,63 @@ func TestConcurrentBatchQuery(t *testing.T) {
 	}
 }
 
+// TestIntraQueryParallelUnderConcurrentCallers stacks both concurrency
+// axes: every query fans its candidate frontier across intra-query
+// workers (Options.Workers) while several goroutines hammer the same
+// engine through BatchQuery. Run under -race this is the stress test for
+// the worker pool's sharing discipline (scratch arenas, scorer copies,
+// tracker counters); the assertions pin that results and I/O attribution
+// still match a purely sequential engine.
+func TestIntraQueryParallelUnderConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	objs := genRestaurants(rng, 600)
+	par, err := Build(objs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Build(objs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]QueryRequest, 48)
+	texts := []string{"sushi seafood", "noodles ramen", "pizza pasta", "steak grill"}
+	for i := range reqs {
+		reqs[i] = QueryRequest{X: rng.Float64() * 100, Y: rng.Float64() * 100,
+			Text: texts[i%len(texts)], K: 1 + i%9}
+	}
+	want := seq.BatchQuery(reqs, 1)
+
+	const callers = 4
+	outs := make([][]BatchResult, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			outs[g] = par.BatchQuery(reqs, 2)
+		}(g)
+	}
+	wg.Wait()
+
+	for g, got := range outs {
+		for i := range reqs {
+			if want[i].Err != nil || got[i].Err != nil {
+				t.Fatalf("caller %d request %d failed: seq=%v par=%v", g, i, want[i].Err, got[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Result.IDs, want[i].Result.IDs) {
+				t.Fatalf("caller %d request %d: parallel engine returned %v, sequential %v",
+					g, i, got[i].Result.IDs, want[i].Result.IDs)
+			}
+			if got[i].Result.Stats.NodesRead != want[i].Result.Stats.NodesRead ||
+				got[i].Result.Stats.PageAccesses != want[i].Result.Stats.PageAccesses {
+				t.Fatalf("caller %d request %d: I/O attribution drifted: got nodes=%d pages=%d, want nodes=%d pages=%d",
+					g, i, got[i].Result.Stats.NodesRead, got[i].Result.Stats.PageAccesses,
+					want[i].Result.Stats.NodesRead, want[i].Result.Stats.PageAccesses)
+			}
+		}
+	}
+}
+
 func TestQueryCtxCancellation(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	eng, err := Build(genRestaurants(rng, 500), Options{})
