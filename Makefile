@@ -3,9 +3,10 @@
 
 GOLANGCI_LINT ?= golangci-lint
 LINT_TOOL     := $(or $(TMPDIR),/tmp)/rstknn-lint
+LINT_REPORT   ?= lint-report.json
 FUZZTIME      ?= 10s
 
-.PHONY: all build test race lint golangci fmt fuzz bench-baseline check clean
+.PHONY: all build test race lint lint-json lint-selftest golangci fmt fuzz bench-baseline check clean
 
 all: build
 
@@ -18,12 +19,26 @@ test:
 race:
 	go test -race ./...
 
-# Domain-specific analyzers (trackedio, ctxflow, locksafe, floatcmp)
-# driven through the go vet vettool protocol, plus standard go vet.
+# Domain-specific analyzers (trackedio, ctxflow, locksafe, floatcmp,
+# hotalloc, sharedmut, errlost) driven through the go vet vettool
+# protocol with cross-package fact propagation, plus standard go vet.
 lint:
 	go vet ./...
 	go build -o $(LINT_TOOL) ./cmd/rstknn-lint
 	go vet -vettool=$(LINT_TOOL) ./...
+
+# Machine-readable lint report (one JSON object per package on stdout);
+# CI uploads this as a build artifact.
+lint-json:
+	go build -o $(LINT_TOOL) ./cmd/rstknn-lint
+	go vet -vettool=$(LINT_TOOL) -json ./... > $(LINT_REPORT) || true
+	@cat $(LINT_REPORT)
+
+# The analyzer corpus: fixture-driven tests of every analyzer, the fact
+# codec round-trip, and the cross-package propagation fixture that fails
+# if fact flow is disabled. Run after touching internal/analysis.
+lint-selftest:
+	go test ./internal/analysis/...
 
 # General-purpose linters; requires golangci-lint on PATH (CI pins its
 # version in .github/workflows/ci.yml).

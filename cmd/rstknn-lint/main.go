@@ -1,14 +1,25 @@
 // Command rstknn-lint is the project's vettool: a go-vet-compatible
 // driver for the domain analyzers in internal/analysis (trackedio,
-// ctxflow, locksafe, floatcmp).
+// ctxflow, locksafe, floatcmp, hotalloc, sharedmut, errlost).
 //
 // It is not run directly; build it and hand it to go vet:
 //
 //	go build -o /tmp/rstknn-lint ./cmd/rstknn-lint
 //	go vet -vettool=/tmp/rstknn-lint ./...
 //
-// or simply `make lint`. Intentional exceptions are annotated in source
-// with //rstknn:allow <analyzer> <reason> (see internal/analysis).
+// or simply `make lint`. The driver summarizes every package it
+// typechecks into per-function facts (allocation, I/O, lock, and
+// shared-write behavior) and propagates them between packages through
+// go vet's .vetx fact files, so the cross-function analyzers (hotalloc,
+// sharedmut, errlost, and locksafe's transitive rule) see through
+// package boundaries.
+//
+// Flags (pass via go vet): -json emits machine-readable diagnostics
+// plus per-analyzer suppression counts; -baseline <file> filters out
+// known findings listed one per line as `file:line:col: message`.
+// Intentional exceptions are annotated in source with
+// //rstknn:allow <analyzer> <reason>, and hot-path roots with
+// //rstknn:hotpath <reason> (see internal/analysis).
 package main
 
 import "rstknn/internal/analysis"

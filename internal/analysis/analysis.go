@@ -1,8 +1,10 @@
 // Package analysis is the project's static-analysis subsystem: a small,
 // dependency-free re-implementation of the go/analysis model (the module
 // has no network access to golang.org/x/tools, so the framework is built
-// on go/ast and go/types alone) plus four domain analyzers that enforce
-// invariants the compiler cannot:
+// on go/ast and go/types alone), a function-level dataflow engine that
+// propagates behavioral facts across packages (summary.go, facts.go),
+// and seven domain analyzers that enforce invariants the compiler
+// cannot:
 //
 //   - trackedio: no raw Store.Get / Tree.ReadNode in library code — query
 //     and traversal paths must use the *Tracked variants so per-query I/O
@@ -11,16 +13,25 @@
 //     points really take a context, and library internals never mint their
 //     own context.Background()/TODO().
 //   - locksafe: mutex-bearing structs (pool shards, cache shards) are not
-//     copied, and no simulated-I/O call runs while a lock is held.
+//     copied, and no simulated-I/O call runs while a lock is held — even
+//     when the I/O hides behind a helper, via the PerformsIO fact.
 //   - floatcmp: no ==/!= between two non-constant floats (similarity
 //     scores) outside the approved internal/geom and internal/vector
 //     epsilon-helper packages.
+//   - hotalloc: every function reachable from a //rstknn:hotpath root is
+//     transitively allocation-free — appends need a capacity proof, and
+//     cross-package calls are judged by the callee's Allocates fact.
+//   - sharedmut: goroutine closures (the worker fan-out) write no
+//     package-level or captured shared state except through the
+//     closure-indexed merge path.
+//   - errlost: error results in internal/core, internal/storage, and
+//     internal/iurtree are never dropped or shadowed away.
 //
 // Analyzers run under "go vet -vettool=$(go build -o /tmp/rstknn-lint
 // ./cmd/rstknn-lint)" via the unitchecker protocol (see vet.go) and under
 // the in-repo analysistest harness (see analysistest/).
 //
-// # Allowlist directive
+// # Directives
 //
 // A finding can be suppressed where the flagged pattern is intentional:
 //
@@ -30,6 +41,13 @@
 // it, or — when it appears in a function's doc comment — to the whole
 // function. A reason is not parsed but should always be given; it is the
 // audit trail for every exception.
+//
+// A second directive marks hot-path roots for hotalloc:
+//
+//	//rstknn:hotpath [reason...]
+//
+// placed in a function's doc comment. The function and everything
+// statically reachable from it must be allocation-free.
 package analysis
 
 import (
@@ -65,30 +83,45 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts holds the package's dataflow summaries plus the facts of its
+	// import closure (see summary.go). Shared across the analyzers of
+	// one unit; computed from local evidence alone when the driver
+	// supplies no imported facts.
+	Facts *PkgFacts
+
 	// Report receives every non-suppressed diagnostic.
 	Report func(Diagnostic)
 
-	allow *directiveIndex
+	allow      *directiveIndex
+	suppressed int
 }
 
 // NewPass assembles a pass over a type-checked package, indexing the
-// package's allow directives so Reportf can honor them.
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+// package's allow directives so Reportf can honor them. facts may be nil,
+// in which case the package is summarized without imported facts
+// (cross-package propagation disabled).
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *PkgFacts, report func(Diagnostic)) *Pass {
+	if facts == nil {
+		facts = Summarize(fset, files, pkg, info, nil)
+	}
 	return &Pass{
 		Analyzer:  a,
 		Fset:      fset,
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
+		Facts:     facts,
 		Report:    report,
 		allow:     indexDirectives(fset, files),
 	}
 }
 
 // Reportf reports a finding at pos unless an allow directive for this
-// analyzer covers it.
+// analyzer covers it; suppressed findings are counted for the JSON
+// report.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	if p.allow.allows(p.Analyzer.Name, p.Fset.Position(pos)) {
+		p.suppressed++
 		return
 	}
 	p.Report(Diagnostic{
@@ -97,6 +130,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 	})
 }
+
+// Suppressed returns how many findings //rstknn:allow directives
+// silenced during the pass.
+func (p *Pass) Suppressed() int { return p.suppressed }
 
 // SourceFiles returns the pass's files excluding _test.go files. The
 // domain analyzers enforce library contracts; tests may legitimately poke
@@ -115,7 +152,7 @@ func (p *Pass) SourceFiles() []*ast.File {
 
 // All returns every domain analyzer, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{TrackedIO, CtxFlow, LockSafe, FloatCmp}
+	return []*Analyzer{TrackedIO, CtxFlow, LockSafe, FloatCmp, HotAlloc, SharedMut, ErrLost}
 }
 
 // ------------------------------------------------------------------

@@ -12,10 +12,13 @@
 // diagnostic message reported on that line. Lines without a want comment
 // must stay diagnostic-free. Fixtures are type-checked against the real
 // standard library from source (GOROOT), so they may import stdlib
-// packages but nothing else; the package path handed to the type checker
-// is the fixture's directory path relative to testdata/src, which lets a
-// fixture impersonate e.g. rstknn/internal/geom to exercise package-based
-// exemptions.
+// packages — and other fixture packages: an import path that exists under
+// testdata/src resolves to that fixture, which is loaded, type-checked,
+// and summarized so its facts flow into the root package exactly as the
+// vet driver propagates them between compilation units. The package path
+// handed to the type checker is the fixture's directory path relative to
+// testdata/src, which lets a fixture impersonate e.g. rstknn/internal/geom
+// to exercise package-based exemptions.
 package analysistest
 
 import (
@@ -37,16 +40,97 @@ import (
 
 // Run analyzes the fixture package at testdata/src/<pkgPath> with a and
 // reports every mismatch between actual diagnostics and want comments as
-// a test error.
+// a test error. Fixture dependencies contribute facts.
 func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
+	got, fset, files := diagnose(t, a, pkgPath, true)
+	wants := collectWants(t, fset, files)
+	checkDiagnostics(t, fset, got, wants)
+}
+
+// Diagnostics runs a over the fixture package and returns the raw
+// diagnostics, ignoring want comments. withFacts=false drops the facts
+// of fixture dependencies, disabling cross-package propagation — for
+// tests proving a finding is only visible through facts.
+func Diagnostics(t *testing.T, a *analysis.Analyzer, pkgPath string, withFacts bool) []analysis.Diagnostic {
+	t.Helper()
+	got, _, _ := diagnose(t, a, pkgPath, withFacts)
+	return got
+}
+
+func diagnose(t *testing.T, a *analysis.Analyzer, pkgPath string, withFacts bool) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
 	fset := token.NewFileSet()
-	files, err := parseDir(fset, dir)
+	loader := newLoader(fset)
+	lp, err := loader.load(pkgPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 
+	var facts *analysis.PkgFacts
+	if withFacts {
+		facts = analysis.Summarize(fset, lp.files, lp.pkg, lp.info, loader.facts)
+	}
+	var got []analysis.Diagnostic
+	pass := analysis.NewPass(a, fset, lp.files, lp.pkg, lp.info, facts, func(d analysis.Diagnostic) {
+		got = append(got, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	return got, fset, lp.files
+}
+
+// loader type-checks fixture packages, resolving imports from
+// testdata/src first and the standard library (from source) second, and
+// accumulates the facts of every fixture it loads — the test-harness
+// analogue of the vet driver's .vetx plumbing.
+type loader struct {
+	fset  *token.FileSet
+	std   types.Importer
+	pkgs  map[string]*loadedPkg
+	facts *analysis.FactStore
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(fset *token.FileSet) *loader {
+	return &loader{
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		pkgs:  make(map[string]*loadedPkg),
+		facts: analysis.NewFactStore(),
+	}
+}
+
+// Import implements types.Importer for the type checker's sake.
+func (l *loader) Import(path string) (*types.Package, error) {
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses, type-checks, and summarizes the fixture at
+// testdata/src/<path> (dependencies first, recursively, through Import).
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -56,22 +140,18 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
 		Scopes:     make(map[ast.Node]*types.Scope),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkg, err := tc.Check(pkgPath, fset, files, info)
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, files, info)
 	if err != nil {
-		t.Fatalf("type-checking fixture %s: %v", dir, err)
+		return nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
 	}
-
-	var got []analysis.Diagnostic
-	pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
-		got = append(got, d)
-	})
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
-	}
-
-	wants := collectWants(t, fset, files)
-	checkDiagnostics(t, fset, got, wants)
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = lp
+	// Dependencies loaded above (recursively) have already merged their
+	// facts, so this fixture's summaries see them.
+	pf := analysis.Summarize(l.fset, files, pkg, info, l.facts)
+	l.facts.Merge(pf.ExportStore())
+	return lp, nil
 }
 
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {

@@ -1,0 +1,184 @@
+package analysis
+
+// errlost: error results in the storage-facing packages are never
+// dropped or shadowed away.
+//
+// internal/core, internal/storage, and internal/iurtree sit on the
+// simulated-disk path, where a swallowed error silently corrupts
+// persisted pages or returns partial query results. errlost flags:
+//
+//   - a call statement whose result set includes an error, used as a
+//     bare statement (the error vanishes); deferred cleanup calls are
+//     exempt — annotate intentional drops with //rstknn:allow errlost;
+//   - assigning an error result to the blank identifier;
+//   - re-declaring an in-scope error variable with := so the outer one
+//     is never assigned (the classic shadowed-err bug). The init
+//     clauses of if/for/switch are idiomatic scoping, and a := that
+//     also introduces another new non-blank variable has no `=`
+//     spelling at all — both are exempt; only shadows that could have
+//     assigned the outer variable are flagged.
+//
+// Other packages are out of scope: tests and the bench harness drop
+// errors legitimately, and the API layer is small enough to review.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrLost reports dropped and shadowed error results in internal/core,
+// internal/storage, and internal/iurtree.
+var ErrLost = &Analyzer{
+	Name: "errlost",
+	Doc: "report error results dropped as bare statements, assigned to _, or lost to := " +
+		"shadowing in internal/core, internal/storage, and internal/iurtree",
+	Run: runErrLost,
+}
+
+// errlostPkgs are the import-path fragments the analyzer applies to.
+var errlostPkgs = []string{"internal/core", "internal/storage", "internal/iurtree"}
+
+func runErrLost(pass *Pass) error {
+	inScope := false
+	for _, frag := range errlostPkgs {
+		if strings.Contains(pass.Pkg.Path(), frag) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	errType := types.Universe.Lookup("error").Type()
+	isError := func(t types.Type) bool {
+		return t != nil && types.Identical(t, errType)
+	}
+	// resultErrors reports whether a call yields any error-typed result
+	// (directly or as a tuple component).
+	resultErrors := func(call *ast.CallExpr) bool {
+		t := pass.TypesInfo.TypeOf(call)
+		if tup, ok := t.(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				if isError(tup.At(i).Type()) {
+					return true
+				}
+			}
+			return false
+		}
+		return isError(t)
+	}
+
+	for _, f := range pass.SourceFiles() {
+		// The init clauses of if/for/switch statements introduce
+		// deliberately scoped variables; collect them so := shadowing
+		// there is not flagged.
+		initStmts := make(map[ast.Stmt]bool)
+		ast.Inspect(f, func(node ast.Node) bool {
+			switch s := node.(type) {
+			case *ast.IfStmt:
+				if s.Init != nil {
+					initStmts[s.Init] = true
+				}
+			case *ast.ForStmt:
+				if s.Init != nil {
+					initStmts[s.Init] = true
+				}
+			case *ast.SwitchStmt:
+				if s.Init != nil {
+					initStmts[s.Init] = true
+				}
+			case *ast.TypeSwitchStmt:
+				if s.Init != nil {
+					initStmts[s.Init] = true
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(node ast.Node) bool {
+			switch s := node.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && resultErrors(call) {
+					pass.Reportf(s.Pos(), "error result of %s is dropped", types.ExprString(call.Fun))
+				}
+			case *ast.AssignStmt:
+				checkErrAssign(pass, s, initStmts, isError)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrAssign flags blank-identifier error drops and :=-shadowed
+// error variables in one assignment.
+func checkErrAssign(pass *Pass, s *ast.AssignStmt, initStmts map[ast.Stmt]bool, isError func(types.Type) bool) {
+	info := pass.TypesInfo
+
+	// Type of the value flowing into lhs[i], when it is a fresh call
+	// result (an explicit `_ = err` re-discard of a bound variable is
+	// not a lost result).
+	resultTypeAt := func(i int) types.Type {
+		if len(s.Rhs) == len(s.Lhs) {
+			if _, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); !ok {
+				return nil
+			}
+			return info.TypeOf(s.Rhs[i])
+		}
+		// x, err := f() — one tuple-valued rhs.
+		if _, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); !ok {
+			return nil
+		}
+		if tup, ok := info.TypeOf(s.Rhs[0]).(*types.Tuple); ok && i < tup.Len() {
+			return tup.At(i).Type()
+		}
+		return nil
+	}
+
+	// A := that also introduces another new, non-blank, non-error
+	// variable is the unavoidable multi-result idiom (v, err := f() in a
+	// nested scope) — only shadows that could have been a plain `=` (or
+	// a rename) are flagged.
+	otherNewVar := false
+	for _, lhs := range s.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if d, ok := info.Defs[id].(*types.Var); ok && !isError(d.Type()) {
+				otherNewVar = true
+			}
+		}
+	}
+
+	for i, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			if isError(resultTypeAt(i)) {
+				pass.Reportf(lhs.Pos(), "error result assigned to _; handle or annotate it")
+			}
+			continue
+		}
+		// := that shadows an in-scope error variable of an enclosing
+		// function scope: the outer variable silently keeps its old
+		// value.
+		if s.Tok.String() != ":=" || initStmts[s] || otherNewVar {
+			continue
+		}
+		def, ok := info.Defs[id].(*types.Var)
+		if !ok || !isError(def.Type()) {
+			continue
+		}
+		scope := def.Parent()
+		if scope == nil || scope.Parent() == nil {
+			continue
+		}
+		_, prev := scope.Parent().LookupParent(id.Name, def.Pos())
+		pv, ok := prev.(*types.Var)
+		if ok && isError(pv.Type()) && pv.Parent() != pass.Pkg.Scope() && pv.Pos() != def.Pos() {
+			pass.Reportf(lhs.Pos(), "%s := shadows the enclosing error variable; assign with = or rename", id.Name)
+		}
+	}
+}

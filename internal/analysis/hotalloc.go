@@ -1,0 +1,81 @@
+package analysis
+
+// hotalloc: functions reachable from a //rstknn:hotpath root must be
+// transitively allocation-free.
+//
+// The scoring inner loop (Scorer.entryBoundsInto, selfPartsInto,
+// vector.Dot, EJ.Exact/Bounds, the warm kthSelector and arena paths) is
+// asserted zero-alloc dynamically by testing.AllocsPerRun; hotalloc
+// turns the same invariant into a build-time error that names the exact
+// site, and — via the Allocates fact — catches regressions hidden in
+// another package's helper, which no single AllocsPerRun call exercises.
+//
+// Within the package, reachability is computed over statically resolved
+// call edges from the hotpath roots; every reachable function's own
+// allocation sites (from the dataflow engine's site scan: make/new,
+// appends without a capacity proof, slice/map/escaping composite
+// literals, string concatenation, capturing closures, interface boxing)
+// are reported where they occur. Cross-package calls are judged by the
+// callee's imported fact or the stdlib assumption table and reported at
+// the call site. Dynamic calls — interface dispatch, func values — have
+// no static callee and are skipped: the engine flags only what it can
+// positively attribute (the same soundness trade the AllocsPerRun tests
+// make by exercising concrete types).
+
+// HotAlloc reports heap allocations reachable from //rstknn:hotpath
+// roots.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "report heap allocations in functions reachable from //rstknn:hotpath roots; " +
+		"appends need a capacity proof (make cap, arena carve, self-append), and " +
+		"cross-package callees are judged by their Allocates fact",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	pf := pass.Facts
+
+	// BFS over in-package static call edges from the hotpath roots.
+	reachable := make(map[*FuncNode]bool)
+	queue := pf.HotRoots()
+	for _, n := range queue {
+		reachable[n] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.calls {
+			if callee := pf.Node(c.callee); callee != nil && !reachable[callee] {
+				reachable[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	nodes := make([]*FuncNode, 0, len(reachable))
+	for n := range reachable {
+		nodes = append(nodes, n)
+	}
+	sortNodes(nodes)
+
+	for _, n := range nodes {
+		// Local allocation evidence, reported where it occurs. Reportf
+		// re-applies //rstknn:allow hotalloc and counts suppressions.
+		for _, site := range n.sites {
+			pass.Reportf(site.pos, "hot path (via %s): %s", n.Summary.Func, site.msg)
+		}
+		// Out-of-package calls judged by fact or stdlib assumption.
+		// In-package callees are themselves reachable, so their sites
+		// are reported directly rather than once per call site.
+		for _, c := range n.calls {
+			if pf.Node(c.callee) != nil {
+				continue
+			}
+			if yes, why := pf.AllocVerdict(c.callee); yes {
+				pass.Reportf(c.pos, "hot path (via %s): call to %s may allocate: %s",
+					n.Summary.Func, funcDisplay(c.callee, pass.Pkg), why)
+			}
+		}
+	}
+	return nil
+}

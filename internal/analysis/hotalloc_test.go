@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"rstknn/internal/analysis"
+	"rstknn/internal/analysis/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "hotalloc")
+}
+
+func TestHotAllocCrossPackage(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "hotalloc/b")
+}
+
+// TestHotAllocCrossPackageNeedsFacts proves the violations in
+// hotalloc/b are visible only through fact propagation: with the facts
+// of package a, the call to the allocating helper is flagged and the
+// append to the capacity-backed carve is proven clean; without them,
+// the helper call goes silent (unknown callee) and the append loses its
+// proof.
+func TestHotAllocCrossPackageNeedsFacts(t *testing.T) {
+	has := func(ds []analysis.Diagnostic, sub string) bool {
+		for _, d := range ds {
+			if strings.Contains(d.Message, sub) {
+				return true
+			}
+		}
+		return false
+	}
+
+	with := analysistest.Diagnostics(t, analysis.HotAlloc, "hotalloc/b", true)
+	if !has(with, "hotalloc/a.Grow may allocate") {
+		t.Errorf("with facts: missing the a.Grow call-site diagnostic; got %v", with)
+	}
+	if has(with, "append without a capacity proof") {
+		t.Errorf("with facts: a.Carve's CapBacked fact should prove the append; got %v", with)
+	}
+
+	without := analysistest.Diagnostics(t, analysis.HotAlloc, "hotalloc/b", false)
+	if has(without, "hotalloc/a.Grow may allocate") {
+		t.Errorf("without facts: a.Grow's Allocates fact should be invisible; got %v", without)
+	}
+	if !has(without, "append without a capacity proof") {
+		t.Errorf("without facts: the append should lose its capacity proof; got %v", without)
+	}
+}

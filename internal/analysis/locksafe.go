@@ -232,10 +232,25 @@ func checkLockedIO(pass *Pass, block *ast.BlockStmt, reported map[token.Pos]bool
 			if !ok {
 				return true
 			}
-			if name, ok := ioReadCall(pass.TypesInfo, call); ok && !reported[call.Pos()] {
+			if reported[call.Pos()] {
+				return true
+			}
+			if name, ok := ioReadCall(pass.TypesInfo, call); ok {
 				reported[call.Pos()] = true
 				pass.Reportf(call.Pos(),
 					"%s called while holding a lock; release the lock before simulated I/O", name)
+				return true
+			}
+			// Transitive: a helper whose PerformsIO fact is set reads
+			// nodes somewhere down its call chain — in this package or,
+			// via the facts file, any imported one.
+			if fn := staticCallee(pass.TypesInfo, call); fn != nil {
+				if yes, why := pass.Facts.IOVerdict(fn); yes {
+					reported[call.Pos()] = true
+					pass.Reportf(call.Pos(),
+						"%s performs simulated I/O (%s) while a lock is held; release the lock first",
+						funcDisplay(fn, pass.Pkg), why)
+				}
 			}
 			return true
 		})

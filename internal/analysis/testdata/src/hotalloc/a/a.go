@@ -1,0 +1,15 @@
+// Package a is the dependency side of the cross-package hotalloc
+// fixture: its facts (Allocates, CapBacked) are only visible to package
+// b through propagation.
+package a
+
+// Grow returns a fresh buffer each call — an allocating helper.
+func Grow() []float64 {
+	return make([]float64, 16)
+}
+
+// Carve returns a zero-length slice with reserved capacity.
+func Carve() []float64 {
+	//rstknn:allow hotalloc reservation amortized by the caller's reuse
+	return make([]float64, 0, 16)
+}

@@ -1,0 +1,22 @@
+// Package b holds hotpath roots whose violations are only visible
+// through the facts of package a: without propagation, a.Grow is an
+// unknown callee and nothing is reported.
+package b
+
+import "hotalloc/a"
+
+//rstknn:hotpath cross-package scoring stand-in
+func Score(xs []float64) float64 {
+	buf := a.Grow() // want `call to hotalloc/a\.Grow may allocate`
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	return float64(len(buf))
+}
+
+//rstknn:hotpath
+func Accumulate(x float64) []float64 {
+	out := a.Carve()
+	grown := append(out, x) // clean: a.Carve's CapBacked fact proves capacity
+	return grown
+}

@@ -1,0 +1,71 @@
+// Package hotalloc is an analysistest fixture for the hotalloc
+// analyzer: hotpath roots, every in-package allocation shape, the
+// capacity-proof rules, and reachability through local helpers.
+package hotalloc
+
+import "fmt"
+
+type part struct{ lower, upper float64 }
+
+type sink interface{ consume(any) }
+
+// carve returns a zero-length slice with reserved capacity, so it is
+// CapBacked — appends to its result are proven. The reservation itself
+// is blessed, like the real arena's amortized growth.
+func carve(n int) []part {
+	//rstknn:allow hotalloc arena-style reservation, amortized across a query
+	return make([]part, 0, n)
+}
+
+// fresh allocates a new slice per call; callers on a hot path are
+// tainted through reachability.
+func fresh() []part {
+	return make([]part, 4) // want `hot path \(via fresh\): make\(\[\]part\) allocates`
+}
+
+//rstknn:hotpath stand-in for the scoring inner loop
+func score(sc []part, s sink, cold bool) float64 {
+	buf := carve(8)
+	buf = append(buf, part{})          // clean: capacity-backed destination
+	grown := append(sc, part{1, 2})    // want `append without a capacity proof`
+	lit := []float64{1, 2}             // want `slice literal allocates`
+	m := map[int]int{}                 // want `map literal allocates`
+	p := &part{}                       // want `&part escapes to the heap`
+	v := part{}                        // plain value literal: stack, clean
+	label := "q" + fmt.Sprint(len(sc)) // want `string concatenation allocates` `call to fmt\.Sprint may allocate`
+	s.consume(v)                       // want `boxes a concrete value`
+	if cold {
+		_ = fresh() // reachable: fresh's own make is reported above
+	}
+	_, _, _, _, _ = grown, lit, m, p, label
+	return float64(len(buf))
+}
+
+//rstknn:hotpath warm selector reuse
+func (w *warm) add(val float64) {
+	w.vals = append(w.vals, val) // clean: the amortized self-append idiom
+}
+
+type warm struct{ vals []float64 }
+
+//rstknn:hotpath
+func capture(base float64) func() float64 {
+	return func() float64 { return base } // want `closure captures base`
+}
+
+// coldOnly is not reachable from any root: its allocations are free.
+func coldOnly() []part {
+	out := []part{}
+	out = append(out, part{})
+	return append(out, part{3, 4})
+}
+
+//rstknn:hotpath reslice proofs
+func reslices(scratch []part) []part {
+	a := scratch[:0]
+	a = append(a, part{}) // clean: [:0] reuses the backing array
+	b := scratch[0:2:2]
+	b = append(b, part{}) // clean: three-index slice carries its capacity
+	_ = a
+	return b
+}

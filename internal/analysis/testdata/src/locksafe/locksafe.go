@@ -76,3 +76,20 @@ func allowedLockedIO(s *Store) {
 	s.Get(0)
 	s.mu.Unlock()
 }
+
+// readAll hides the simulated I/O behind a helper; its PerformsIO fact
+// makes the locked call below visible transitively.
+func (s *Store) readAll() [][]byte {
+	b, err := s.Get(0)
+	if err != nil {
+		return nil
+	}
+	return [][]byte{b}
+}
+
+func transitiveLockedIO(s *Store) {
+	s.mu.Lock()
+	s.readAll() // want `Store\.readAll performs simulated I/O .* while a lock is held`
+	s.mu.Unlock()
+	s.readAll() // clean: lock released
+}

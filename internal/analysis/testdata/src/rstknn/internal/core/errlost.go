@@ -1,0 +1,70 @@
+// Package core impersonates rstknn/internal/core so the errlost
+// analyzer's package filter applies (it only runs on internal/core,
+// internal/storage, and internal/iurtree).
+package core
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, errors.New("boom") }
+
+func dropped() {
+	mayFail() // want `error result of mayFail is dropped`
+}
+
+func deferred() {
+	defer mayFail() // clean: deferred best-effort cleanup is idiomatic
+}
+
+func blank() {
+	_ = mayFail()   // want `error result assigned to _`
+	v, _ := value() // want `error result assigned to _`
+	_ = v           // clean: re-discarding a bound non-error value
+}
+
+func blankNonError(m map[int]int) {
+	_, ok := m[0] // clean: the second value is a bool
+	_ = ok
+}
+
+func shadowed() error {
+	err := mayFail() // clean: first declaration
+	if err != nil {
+		return err
+	}
+	{
+		err := mayFail() // want `shadows the enclosing error variable`
+		print(err != nil)
+	}
+	{
+		n, err := value() // clean: := is forced by the new variable n
+		print(n)
+		print(err != nil)
+	}
+	{
+		_, err := value() // want `shadows the enclosing error variable`
+		print(err != nil)
+	}
+	if err := mayFail(); err != nil { // clean: init-clause scoping idiom
+		return err
+	}
+	return err
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := value()
+	if err != nil {
+		return err
+	}
+	print(n)
+	return nil
+}
+
+func blessedDrop() {
+	//rstknn:allow errlost best-effort close on an error path
+	mayFail()
+}

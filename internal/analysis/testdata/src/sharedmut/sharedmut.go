@@ -1,0 +1,72 @@
+// Package sharedmut is an analysistest fixture for the sharedmut
+// analyzer: the legal worker merge path and every illegal shared-write
+// shape inside goroutine closures.
+package sharedmut
+
+var hits int
+
+type worker struct{ acc []float64 }
+
+func (w *worker) process(x int) (float64, error) { return float64(x), nil }
+
+// bumpGlobal carries the WritesShared fact.
+func bumpGlobal() { hits++ }
+
+// fanOut is the designated merge path: each goroutine writes only its
+// own index of the captured result slices, with a closure-local index.
+func fanOut(w *worker, items []int) ([]float64, []error) {
+	results := make([]float64, len(items))
+	errs := make([]error, len(items))
+	for i := range items {
+		go func(j int) {
+			results[j], errs[j] = w.process(items[j]) // clean: disjoint partition
+		}(i)
+	}
+	return results, errs
+}
+
+func badWrites(w *worker, items []int) float64 {
+	total := 0.0
+	m := make(map[int]float64)
+	results := make([]float64, len(items))
+	go func() {
+		hits++ // want `writes package-level variable hits`
+	}()
+	go func(j int) {
+		total += float64(j) // want `writes captured variable total`
+	}(0)
+	go func(j int) {
+		m[j] = float64(j) // want `concurrent map writes race`
+	}(1)
+	go func() {
+		results[0] = 1 // want `index not derived from closure-local state`
+	}()
+	go func() {
+		w.acc = nil // want `writes through captured w`
+	}()
+	return total
+}
+
+func transitive() {
+	go func() {
+		bumpGlobal() // want `calls bumpGlobal, which writes shared state`
+	}()
+	go bumpGlobal() // want `goroutine runs bumpGlobal, which writes shared state`
+}
+
+func localState() {
+	go func() {
+		local := make([]int, 4)
+		local[0] = 1 // clean: closure-local container
+		sum := 0
+		sum += local[0] // clean: closure-local scalar
+		_ = sum
+	}()
+}
+
+func blessed() {
+	go func() {
+		//rstknn:allow sharedmut single writer by construction here
+		hits++
+	}()
+}

@@ -12,9 +12,17 @@ package analysis
 //
 // Type information for imports comes from the export-data files the go
 // command already produced for the build, via go/importer.ForCompiler
-// with a lookup into cfg.PackageFile. The analyzers in this package use
-// no cross-package facts, so the facts file is written empty and
-// fact-only (VetxOnly) invocations return immediately.
+// with a lookup into cfg.PackageFile.
+//
+// Facts ride the protocol's .vetx files: for every unit the driver reads
+// the facts of its imports from cfg.PackageVetx, hands them to the
+// dataflow engine (Summarize), and writes the merged result — imported
+// facts plus the unit's own interesting summaries — to cfg.VetxOutput,
+// so facts reach indirect importers transitively. Fact-only (VetxOnly)
+// invocations run exactly that pipeline and skip the analyzers;
+// standard-library units short-circuit to an empty facts file (their
+// allocation behavior is covered by a fixed assumption table instead —
+// see summary.go).
 
 import (
 	"crypto/sha256"
@@ -64,6 +72,7 @@ func VetMain(analyzers ...*Analyzer) {
 	printVersion := flag.String("V", "", "print version and exit (-V=full)")
 	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON")
 	jsonOut := flag.Bool("json", false, "emit JSON output")
+	baseline := flag.String("baseline", "", "file of known diagnostics to filter out")
 	flag.Parse()
 
 	switch {
@@ -71,9 +80,11 @@ func VetMain(analyzers ...*Analyzer) {
 		versionFingerprint(*printVersion)
 		return
 	case *printFlags:
-		// No analyzer exposes flags; report an empty list so go vet
-		// passes none through.
-		fmt.Print("[]")
+		// Declare the tool's flags so the go command forwards matching
+		// command-line flags (go vet -vettool=… -json -baseline=…) to
+		// every unit invocation.
+		fmt.Print(`[{"Name":"json","Bool":true,"Usage":"emit JSON output"},` +
+			`{"Name":"baseline","Bool":false,"Usage":"file of known diagnostics to filter out"}]`)
 		return
 	}
 
@@ -81,7 +92,7 @@ func VetMain(analyzers ...*Analyzer) {
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		log.Fatalf("usage: run via go vet -vettool=%s ./... (direct invocation takes a single unit.cfg)", progname)
 	}
-	os.Exit(runUnit(args[0], analyzers, *jsonOut, os.Stdout, os.Stderr))
+	os.Exit(runUnit(args[0], analyzers, *jsonOut, *baseline, os.Stdout, os.Stderr))
 }
 
 // versionFingerprint implements the -V=full handshake: the go command
@@ -109,7 +120,7 @@ func versionFingerprint(mode string) {
 
 // runUnit analyzes the compilation unit described by cfgPath and returns
 // the process exit code.
-func runUnit(cfgPath string, analyzers []*Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+func runUnit(cfgPath string, analyzers []*Analyzer, jsonOut bool, baselinePath string, stdout, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		log.Fatal(err)
@@ -119,15 +130,39 @@ func runUnit(cfgPath string, analyzers []*Analyzer, jsonOut bool, stdout, stderr
 		log.Fatalf("cannot decode JSON config file %s: %v", cfgPath, err)
 	}
 
-	// The go command expects a facts file even from fact-free tools.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	// The go command expects a facts file from every invocation.
+	writeFacts := func(store *FactStore) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		if store == nil {
+			store = NewFactStore()
+		}
+		if err := store.WriteFile(cfg.VetxOutput); err != nil {
 			log.Fatalf("writing facts output: %v", err)
 		}
 	}
-	if cfg.VetxOnly {
-		// Dependencies are analyzed only for facts; we have none.
+
+	// Standard-library units contribute no facts — hot-path calls into
+	// them are judged by the assumption table in summary.go — so the
+	// parse is skipped entirely. The go command's Standard map lists a
+	// unit's standard *dependencies*, not the unit itself, so the unit's
+	// own provenance is detected by its files living under GOROOT.
+	if cfg.Standard[cfg.ImportPath] || standardUnit(&cfg) {
+		writeFacts(nil)
 		return 0
+	}
+
+	// Facts of the import closure. Each dependency's facts file already
+	// contains its own transitive closure, so overlapping entries are
+	// identical and merge order does not matter.
+	imported := NewFactStore()
+	for path, vetx := range cfg.PackageVetx {
+		st, err := ReadFactsFile(vetx)
+		if err != nil {
+			log.Fatalf("reading facts of %s: %v", path, err)
+		}
+		imported.Merge(st)
 	}
 
 	fset := token.NewFileSet()
@@ -136,6 +171,7 @@ func runUnit(cfgPath string, analyzers []*Analyzer, jsonOut bool, stdout, stderr
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				writeFacts(nil)
 				return 0
 			}
 			log.Fatal(err)
@@ -152,23 +188,51 @@ func runUnit(cfgPath string, analyzers []*Analyzer, jsonOut bool, stdout, stderr
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeFacts(nil)
 			return 0
 		}
 		log.Fatal(err)
 	}
 
+	pf := Summarize(fset, files, pkg, info, imported)
+	writeFacts(pf.ExportStore())
+	if cfg.VetxOnly {
+		// Dependencies are analyzed for facts only.
+		return 0
+	}
+
 	diags := make(map[string][]Diagnostic)
+	suppressed := make(map[string]int)
 	for _, a := range analyzers {
-		pass := NewPass(a, fset, files, pkg, info, func(d Diagnostic) {
+		pass := NewPass(a, fset, files, pkg, info, pf, func(d Diagnostic) {
 			diags[a.Name] = append(diags[a.Name], d)
 		})
 		if err := a.Run(pass); err != nil {
 			log.Fatalf("analyzer %s: %v", a.Name, err)
 		}
+		if n := pass.Suppressed(); n > 0 {
+			suppressed[a.Name] += n
+		}
+	}
+
+	if baselinePath != "" {
+		known, err := readBaseline(baselinePath)
+		if err != nil {
+			log.Fatalf("reading baseline: %v", err)
+		}
+		for name, ds := range diags {
+			kept := ds[:0]
+			for _, d := range ds {
+				if !known[baselineKey(filepath.Base(fset.Position(d.Pos).Filename), d.Message)] {
+					kept = append(kept, d)
+				}
+			}
+			diags[name] = kept
+		}
 	}
 
 	if jsonOut {
-		printJSONDiagnostics(stdout, fset, cfg.ID, analyzers, diags)
+		printJSONDiagnostics(stdout, fset, cfg.ID, analyzers, diags, suppressed)
 		return 0
 	}
 	exit := 0
@@ -179,6 +243,53 @@ func runUnit(cfgPath string, analyzers []*Analyzer, jsonOut bool, stdout, stderr
 		}
 	}
 	return exit
+}
+
+// standardUnit reports whether the unit's sources live in GOROOT.
+func standardUnit(cfg *vetConfig) bool {
+	goroot := build.Default.GOROOT
+	if goroot == "" || len(cfg.GoFiles) == 0 {
+		return false
+	}
+	prefix := goroot + string(filepath.Separator)
+	for _, f := range cfg.GoFiles {
+		if !strings.HasPrefix(f, prefix) {
+			return false
+		}
+	}
+	return true
+}
+
+// readBaseline parses a baseline file: one "file:line[:col]: message"
+// diagnostic per line, as written by redirecting a vet run's stderr
+// (# comments and blank lines ignored). Matching is by base filename
+// and message — line numbers shift too easily to key on.
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		posn, msg, ok := strings.Cut(line, ": ")
+		if !ok {
+			continue
+		}
+		file := posn
+		if i := strings.Index(posn, ":"); i >= 0 {
+			file = posn[:i]
+		}
+		known[baselineKey(filepath.Base(file), msg)] = true
+	}
+	return known, nil
+}
+
+func baselineKey(file, message string) string {
+	return file + "\x00" + message
 }
 
 // newTypesInfo allocates every map go/types can fill; the analyzers need
@@ -218,14 +329,28 @@ type importerFunc func(path string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
-// printJSONDiagnostics emits the {pkgID: {analyzer: [diagnostic]}} shape
-// `go vet -json` merges across units.
-func printJSONDiagnostics(w io.Writer, fset *token.FileSet, id string, analyzers []*Analyzer, diags map[string][]Diagnostic) {
+// printJSONDiagnostics emits one unit's report keyed by package ID, the
+// shape per-unit outputs are merged under:
+//
+//	{"<id>": {"diagnostics": {"<analyzer>": [{posn, message, analyzer}]},
+//	          "suppressed":  {"<analyzer>": count}}}
+//
+// suppressed counts the findings //rstknn:allow directives silenced, per
+// analyzer — the audit surface for exceptions.
+func printJSONDiagnostics(w io.Writer, fset *token.FileSet, id string, analyzers []*Analyzer, diags map[string][]Diagnostic, suppressed map[string]int) {
 	type jsonDiag struct {
-		Posn    string `json:"posn"`
-		Message string `json:"message"`
+		Posn     string `json:"posn"`
+		Message  string `json:"message"`
+		Analyzer string `json:"analyzer"`
 	}
-	unit := make(map[string][]jsonDiag)
+	type jsonUnit struct {
+		Diagnostics map[string][]jsonDiag `json:"diagnostics"`
+		Suppressed  map[string]int        `json:"suppressed"`
+	}
+	unit := jsonUnit{
+		Diagnostics: make(map[string][]jsonDiag),
+		Suppressed:  suppressed,
+	}
 	for _, a := range analyzers {
 		ds := diags[a.Name]
 		if len(ds) == 0 {
@@ -233,11 +358,15 @@ func printJSONDiagnostics(w io.Writer, fset *token.FileSet, id string, analyzers
 		}
 		out := make([]jsonDiag, len(ds))
 		for i, d := range ds {
-			out[i] = jsonDiag{Posn: fset.Position(d.Pos).String(), Message: d.Message}
+			out[i] = jsonDiag{
+				Posn:     fset.Position(d.Pos).String(),
+				Message:  d.Message,
+				Analyzer: d.Analyzer,
+			}
 		}
-		unit[a.Name] = out
+		unit.Diagnostics[a.Name] = out
 	}
-	enc, err := json.MarshalIndent(map[string]map[string][]jsonDiag{id: unit}, "", "\t")
+	enc, err := json.MarshalIndent(map[string]jsonUnit{id: unit}, "", "\t")
 	if err != nil {
 		log.Fatal(err)
 	}

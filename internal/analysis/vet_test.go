@@ -47,7 +47,7 @@ func exact(a, b float64) bool { return a == b }
 	cfgPath, vetxPath := writeUnitConfig(t, dir, []string{src}, false)
 
 	var stdout, stderr strings.Builder
-	exit := runUnit(cfgPath, All(), false, &stdout, &stderr)
+	exit := runUnit(cfgPath, All(), false, "", &stdout, &stderr)
 	if exit != 1 {
 		t.Fatalf("exit = %d, want 1; stderr: %s", exit, stderr.String())
 	}
@@ -72,17 +72,36 @@ func fine(a, b float64) bool { return a < b }
 	cfgPath, _ := writeUnitConfig(t, dir, []string{src}, false)
 
 	var stdout, stderr strings.Builder
-	if exit := runUnit(cfgPath, All(), false, &stdout, &stderr); exit != 0 {
+	if exit := runUnit(cfgPath, All(), false, "", &stdout, &stderr); exit != 0 {
 		t.Fatalf("exit = %d, want 0; stderr: %s", exit, stderr.String())
 	}
+}
+
+// jsonUnitReport mirrors the per-unit JSON report shape for decoding in
+// tests.
+type jsonUnitReport struct {
+	Diagnostics map[string][]struct {
+		Posn     string `json:"posn"`
+		Message  string `json:"message"`
+		Analyzer string `json:"analyzer"`
+	} `json:"diagnostics"`
+	Suppressed map[string]int `json:"suppressed"`
 }
 
 func TestRunUnitJSONOutput(t *testing.T) {
 	dir := t.TempDir()
 	src := filepath.Join(dir, "p.go")
+	// One reported floatcmp violation plus one suppressed by a
+	// directive: the report must carry the diagnostic with its analyzer
+	// name and count the suppression.
 	code := `package fixture
 
 func exact(a, b float64) bool { return a == b }
+
+func blessed(a, b float64) bool {
+	//rstknn:allow floatcmp exact tie-break is intended here
+	return a == b
+}
 `
 	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
 		t.Fatal(err)
@@ -90,39 +109,150 @@ func exact(a, b float64) bool { return a == b }
 	cfgPath, _ := writeUnitConfig(t, dir, []string{src}, false)
 
 	var stdout, stderr strings.Builder
-	if exit := runUnit(cfgPath, All(), true, &stdout, &stderr); exit != 0 {
+	if exit := runUnit(cfgPath, All(), true, "", &stdout, &stderr); exit != 0 {
 		t.Fatalf("exit = %d, want 0 in JSON mode; stderr: %s", exit, stderr.String())
 	}
-	var tree map[string]map[string][]struct {
-		Posn    string `json:"posn"`
-		Message string `json:"message"`
-	}
+	var tree map[string]jsonUnitReport
 	if err := json.Unmarshal([]byte(stdout.String()), &tree); err != nil {
 		t.Fatalf("output is not the vet JSON shape: %v\n%s", err, stdout.String())
 	}
-	if len(tree["fixture"]["floatcmp"]) != 1 {
+	unit := tree["fixture"]
+	ds := unit.Diagnostics["floatcmp"]
+	if len(ds) != 1 {
 		t.Fatalf("want 1 floatcmp diagnostic in JSON tree, got %v", tree)
+	}
+	if ds[0].Analyzer != "floatcmp" {
+		t.Fatalf("diagnostic analyzer = %q, want floatcmp", ds[0].Analyzer)
+	}
+	if unit.Suppressed["floatcmp"] != 1 {
+		t.Fatalf("suppressed[floatcmp] = %d, want 1 (tree %v)", unit.Suppressed["floatcmp"], tree)
 	}
 }
 
-// TestRunUnitVetxOnly checks the fact-only fast path: dependencies are
-// analyzed for facts alone, and a fact-free tool must still write the
-// facts file and succeed without type-checking anything.
+// TestRunUnitVetxOnly checks the fact-only path: dependencies are
+// analyzed for facts alone — the unit is parsed, type-checked, and
+// summarized, its facts land in the .vetx file, and no diagnostics are
+// emitted.
 func TestRunUnitVetxOnly(t *testing.T) {
 	dir := t.TempDir()
 	src := filepath.Join(dir, "p.go")
-	// Deliberately broken source: VetxOnly must not even parse it.
-	if err := os.WriteFile(src, []byte("package fixture\nfunc {"), 0o666); err != nil {
+	code := `package fixture
+
+func Alloc() []int { return make([]int, 8) }
+
+func Carve() []int { return make([]int, 0, 8) }
+`
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
 		t.Fatal(err)
 	}
 	cfgPath, vetxPath := writeUnitConfig(t, dir, []string{src}, true)
 
 	var stdout, stderr strings.Builder
-	if exit := runUnit(cfgPath, All(), false, &stdout, &stderr); exit != 0 {
-		t.Fatalf("exit = %d, want 0 in VetxOnly mode", exit)
+	if exit := runUnit(cfgPath, All(), false, "", &stdout, &stderr); exit != 0 {
+		t.Fatalf("exit = %d, want 0 in VetxOnly mode; stderr: %s", exit, stderr.String())
 	}
-	if _, err := os.Stat(vetxPath); err != nil {
-		t.Fatalf("facts file not written in VetxOnly mode: %v", err)
+	store, err := ReadFactsFile(vetxPath)
+	if err != nil {
+		t.Fatalf("reading facts file: %v", err)
+	}
+	alloc := store.Lookup("fixture.Alloc")
+	if alloc == nil || !alloc.Allocates {
+		t.Fatalf("fixture.Alloc fact = %+v, want Allocates", alloc)
+	}
+	// Carve allocates (the make itself) but is capacity-backed: appends
+	// to its result are proven.
+	carve := store.Lookup("fixture.Carve")
+	if carve == nil || !carve.CapBacked {
+		t.Fatalf("fixture.Carve fact = %+v, want CapBacked", carve)
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("VetxOnly run wrote diagnostics: %s", stderr.String())
+	}
+}
+
+// TestRunUnitStandardFastPath checks that standard-library units skip
+// analysis entirely and publish an empty facts file.
+func TestRunUnitStandardFastPath(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	// Broken on purpose: the standard fast path must not even parse it.
+	if err := os.WriteFile(src, []byte("package fixture\nfunc {"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetxPath := filepath.Join(dir, "unit.vetx")
+	cfg := vetConfig{
+		ID:         "fixture",
+		Compiler:   "gc",
+		ImportPath: "fixture",
+		GoFiles:    []string{src},
+		Standard:   map[string]bool{"fixture": true},
+		VetxOnly:   true,
+		VetxOutput: vetxPath,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr strings.Builder
+	if exit := runUnit(cfgPath, All(), false, "", &stdout, &stderr); exit != 0 {
+		t.Fatalf("exit = %d, want 0 for a standard unit", exit)
+	}
+	store, err := ReadFactsFile(vetxPath)
+	if err != nil {
+		t.Fatalf("reading facts file: %v", err)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("standard unit published %d facts, want 0", store.Len())
+	}
+}
+
+// TestRunUnitBaseline checks that -baseline filters known diagnostics by
+// file basename and message, letting new findings through.
+func TestRunUnitBaseline(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	code := `package fixture
+
+func exact(a, b float64) bool { return a == b }
+
+func fresh(a, b float64) bool { return a != b }
+`
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath, _ := writeUnitConfig(t, dir, []string{src}, false)
+
+	// First run, no baseline: both findings reported.
+	var stdout, stderr strings.Builder
+	if exit := runUnit(cfgPath, All(), false, "", &stdout, &stderr); exit != 1 {
+		t.Fatalf("exit = %d, want 1 without baseline", exit)
+	}
+	lines := strings.Split(strings.TrimSpace(stderr.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 diagnostics without baseline, got %q", stderr.String())
+	}
+
+	// Baseline the first finding (note: a different directory prefix —
+	// matching must be by basename, not full path).
+	baseline := filepath.Join(dir, "lint.baseline")
+	content := "# known findings\nsomewhere/else/p.go:3:39: " +
+		strings.SplitN(lines[0], ": ", 2)[1] + "\n"
+	if err := os.WriteFile(baseline, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if exit := runUnit(cfgPath, All(), false, baseline, &stdout, &stderr); exit != 1 {
+		t.Fatalf("exit = %d, want 1 with baseline (new finding remains)", exit)
+	}
+	out := strings.TrimSpace(stderr.String())
+	if strings.Count(out, "\n") != 0 || !strings.Contains(out, "!=") {
+		t.Fatalf("baseline filtering wrong; stderr: %q", out)
 	}
 }
 

@@ -68,6 +68,8 @@ func (cl *contributionList) knnBounds(k int) (knnl, knnu float64) {
 
 // knnBoundsInto is the allocation-conscious form: the selectors are reset
 // and filled; callers reuse them across iterations.
+//
+//rstknn:hotpath one call per pruning check of every live candidate
 func (cl *contributionList) knnBoundsInto(lo, hi *kthSelector) {
 	for _, p := range cl.self {
 		if p.count > 0 {
@@ -100,6 +102,8 @@ type kthSelector struct {
 }
 
 // reset prepares the selector for a fresh selection of the k-th largest.
+//
+//rstknn:hotpath selector reuse across pruning checks
 func (s *kthSelector) reset(k int) {
 	s.k = int64(k)
 	s.total = 0
@@ -109,6 +113,8 @@ func (s *kthSelector) reset(k int) {
 }
 
 // add feeds `count` copies of val into the multiset.
+//
+//rstknn:hotpath one call per contribution part per pruning check
 func (s *kthSelector) add(val float64, count int32) {
 	c := int64(count)
 	s.total += c
@@ -117,9 +123,10 @@ func (s *kthSelector) add(val float64, count int32) {
 	if s.kept >= s.k && len(s.vals) > 0 && val <= s.vals[0] {
 		return
 	}
-	// Push (val, c).
-	s.vals = append(s.vals, val)
-	s.counts = append(s.counts, c)
+	// Push (val, c). The heaps hold at most k entries, so after a warm
+	// first selection the appends below reuse existing capacity.
+	s.vals = append(s.vals, val)   //rstknn:allow hotalloc amortized heap growth, capacity is reused once warm
+	s.counts = append(s.counts, c) //rstknn:allow hotalloc amortized heap growth, capacity is reused once warm
 	s.kept += c
 	i := len(s.vals) - 1
 	for i > 0 {
@@ -165,6 +172,8 @@ func (s *kthSelector) popMin() {
 
 // kth returns the k-th largest value seen, or -Inf when fewer than k
 // values were added in total.
+//
+//rstknn:hotpath read once per pruning check
 func (s *kthSelector) kth() float64 {
 	if s.total < s.k || len(s.vals) == 0 {
 		return negInf

@@ -133,6 +133,8 @@ func (s *Scorer) entryBounds(a side, x *iurtree.Entry) []part {
 // entryBoundsInto is the allocation-free form of entryBounds: the part
 // slice is carved from the worker's scratch arena (heap-allocated when sc
 // is nil), so the steady-state scoring path performs no allocation.
+//
+//rstknn:hotpath one call per (candidate, contributor) bound evaluation
 func (s *Scorer) entryBoundsInto(sc *scratch, a side, x *iurtree.Entry) []part {
 	if a.exact && x.IsObject() {
 		v := s.Exact(a.rect.Min, a.env.Int, x.Loc(), x.Doc())
@@ -176,22 +178,15 @@ func (s *Scorer) selfParts(e *iurtree.Entry, clusterID int32, env vector.Envelop
 
 // selfPartsInto is the allocation-free form of selfParts (see
 // entryBoundsInto).
+//
+//rstknn:hotpath one call per candidate expansion and rebinding
 func (s *Scorer) selfPartsInto(sc *scratch, e *iurtree.Entry, clusterID int32, env vector.Envelope, count int32) []part {
 	if e.Count <= 1 {
 		return nil
 	}
 	minS := 1 - e.Rect.Diagonal()/s.MaxD
-	combine := func(other vector.Envelope, n int32) part {
-		s.BoundCount++
-		loT, hiT := s.Sim.Bounds(env, other)
-		return part{
-			lo:    s.Alpha*minS + (1-s.Alpha)*loT - boundsPad,
-			hi:    s.Alpha*1 + (1-s.Alpha)*hiT + boundsPad,
-			count: n,
-		}
-	}
 	if clusterID < 0 || len(e.Clusters) == 0 {
-		p := combine(e.Env, e.Count-1)
+		p := s.selfPart(env, e.Env, minS, e.Count-1)
 		if p.count <= 0 {
 			return nil
 		}
@@ -207,9 +202,22 @@ func (s *Scorer) selfPartsInto(sc *scratch, e *iurtree.Entry, clusterID int32, e
 		if n <= 0 {
 			continue
 		}
-		parts = append(parts, combine(cs.Env, n))
+		parts = append(parts, s.selfPart(env, cs.Env, minS, n))
 	}
 	return parts
+}
+
+// selfPart bounds one envelope pairing of a candidate's own subtree:
+// spatial bounds [minS, 1] combined with the textual envelope bounds of
+// the candidate-side envelope against one co-member envelope.
+func (s *Scorer) selfPart(env, other vector.Envelope, minS float64, n int32) part {
+	s.BoundCount++
+	loT, hiT := s.Sim.Bounds(env, other)
+	return part{
+		lo:    s.Alpha*minS + (1-s.Alpha)*loT - boundsPad,
+		hi:    s.Alpha*1 + (1-s.Alpha)*hiT + boundsPad,
+		count: n,
+	}
 }
 
 // negInf is the similarity of a non-existent neighbor: an object with

@@ -33,6 +33,8 @@ type arena[T any] struct {
 // alloc carves a slice with length 0 and capacity n from the arena. The
 // caller appends at most n elements; appending beyond n falls back to the
 // heap via the ordinary append growth path (correct, merely allocating).
+//
+//rstknn:hotpath one carve per bound evaluation in the steady state
 func (a *arena[T]) alloc(n int) []T {
 	if cap(a.cur)-len(a.cur) < n {
 		a.grow(n)
@@ -42,9 +44,11 @@ func (a *arena[T]) alloc(n int) []T {
 	return a.cur[off : off : off+n]
 }
 
+// grow is the arena's amortized cold path: it runs once per chunk, not
+// once per carve, so its allocations are blessed below.
 func (a *arena[T]) grow(n int) {
 	if a.cur != nil {
-		a.used = append(a.used, a.cur)
+		a.used = append(a.used, a.cur) //rstknn:allow hotalloc chunk bookkeeping, amortized over chunk-many carves
 		a.cur = nil
 	}
 	// Prefer a recycled chunk large enough for the request.
@@ -61,7 +65,7 @@ func (a *arena[T]) grow(n int) {
 	if size < n {
 		size = n
 	}
-	a.cur = make([]T, 0, size)
+	a.cur = make([]T, 0, size) //rstknn:allow hotalloc chunk allocation, recycled across queries by reset
 }
 
 // reset recycles every chunk. Previously carved slices become invalid.
@@ -125,20 +129,24 @@ func (s *scratch) release() {
 // allocParts carves a part slice from the scratch arena, or falls back to
 // the heap when no scratch is threaded through (external callers of the
 // bound helpers, e.g. white-box tests).
+//
+//rstknn:hotpath one carve per bound evaluation
 func allocParts(sc *scratch, n int) []part {
 	if sc != nil {
 		return sc.parts.alloc(n)
 	}
-	return make([]part, 0, n)
+	return make([]part, 0, n) //rstknn:allow hotalloc heap fallback for scratch-less callers (tests)
 }
 
 // allocContribs mirrors allocParts for contributor slices. extra reserves
 // growth headroom: contribution lists grow in place when a refinement
 // replaces one contributor with a node's children, and headroom keeps
 // those appends inside the arena instead of spilling to the heap.
+//
+//rstknn:hotpath one carve per candidate expansion
 func allocContribs(sc *scratch, n, extra int) []contributor {
 	if sc != nil {
 		return sc.contribs.alloc(n + extra)
 	}
-	return make([]contributor, 0, n+extra)
+	return make([]contributor, 0, n+extra) //rstknn:allow hotalloc heap fallback for scratch-less callers (tests)
 }

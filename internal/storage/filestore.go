@@ -69,18 +69,18 @@ func OpenFileStore(path string, opts ...Option) (*FileStore, error) {
 	var off int64
 	var header [fileRecordHeader]byte
 	for {
-		_, err := f.ReadAt(header[:], off)
+		_, err = f.ReadAt(header[:], off)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			f.Close()
+			f.Close() //rstknn:allow errlost best-effort close; the scan error is returned
 			return nil, fmt.Errorf("storage: scanning %s at %d: %w", path, off, err)
 		}
 		id := NodeID(binary.LittleEndian.Uint32(header[0:]))
 		size := int32(binary.LittleEndian.Uint32(header[4:]))
 		if size < 0 {
-			f.Close()
+			f.Close() //rstknn:allow errlost best-effort close; the corruption error is returned
 			return nil, fmt.Errorf("storage: corrupt record size %d at %d", size, off)
 		}
 		for int(id) >= len(fs.offsets) {
@@ -91,7 +91,7 @@ func OpenFileStore(path string, opts ...Option) (*FileStore, error) {
 	}
 	for i, r := range fs.offsets {
 		if r.off < 0 {
-			f.Close()
+			f.Close() //rstknn:allow errlost best-effort close; the missing-record error is returned
 			return nil, fmt.Errorf("storage: missing record for node %d", i)
 		}
 	}
@@ -252,21 +252,21 @@ func (fs *FileStore) Compact() error {
 	for id, ref := range fs.offsets {
 		buf := make([]byte, ref.size)
 		if _, err := fs.f.ReadAt(buf, ref.off); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
+			tmp.Close()        //rstknn:allow errlost best-effort cleanup; the read error is returned
+			os.Remove(tmpPath) //rstknn:allow errlost best-effort cleanup; the read error is returned
 			return err
 		}
 		var header [fileRecordHeader]byte
 		binary.LittleEndian.PutUint32(header[0:], uint32(id))
 		binary.LittleEndian.PutUint32(header[4:], uint32(len(buf)))
 		if _, err := tmp.Write(header[:]); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
+			tmp.Close()        //rstknn:allow errlost best-effort cleanup; the write error is returned
+			os.Remove(tmpPath) //rstknn:allow errlost best-effort cleanup; the write error is returned
 			return err
 		}
 		if _, err := tmp.Write(buf); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
+			tmp.Close()        //rstknn:allow errlost best-effort cleanup; the write error is returned
+			os.Remove(tmpPath) //rstknn:allow errlost best-effort cleanup; the write error is returned
 			return err
 		}
 		newOffsets[id] = recordRef{off: off + fileRecordHeader, size: ref.size}

@@ -43,6 +43,8 @@ type EJ struct{}
 func (EJ) Name() string { return "ej" }
 
 // Exact implements TextSim.
+//
+//rstknn:hotpath exact similarity inside the accept/reject loop
 func (EJ) Exact(x, y Vector) float64 {
 	s := x.Dot(y)
 	if s <= 0 {
@@ -57,6 +59,8 @@ func (EJ) Exact(x, y Vector) float64 {
 }
 
 // Bounds implements TextSim.
+//
+//rstknn:hotpath envelope bounds inside the branch-and-bound inner loop
 func (EJ) Bounds(e1, e2 Envelope) (lo, hi float64) {
 	// Disjoint unions are the common case on clustered trees: every
 	// member similarity is 0 and no further arithmetic is needed.
@@ -96,6 +100,8 @@ type Cosine struct{}
 func (Cosine) Name() string { return "cosine" }
 
 // Exact implements TextSim.
+//
+//rstknn:hotpath exact similarity inside the accept/reject loop
 func (Cosine) Exact(x, y Vector) float64 {
 	s := x.Dot(y)
 	if s <= 0 {
@@ -109,6 +115,8 @@ func (Cosine) Exact(x, y Vector) float64 {
 }
 
 // Bounds implements TextSim.
+//
+//rstknn:hotpath envelope bounds inside the branch-and-bound inner loop
 func (Cosine) Bounds(e1, e2 Envelope) (lo, hi float64) {
 	sMax := e1.Uni.Dot(e2.Uni)
 	if sMax <= 0 {

@@ -178,6 +178,8 @@ func (v Vector) Equal(u Vector) bool {
 // matched terms are always accumulated in ascending term order, so the
 // summation order — hence the exact float64 result — is identical across
 // both code paths below and deterministic for a given pair of vectors.
+//
+//rstknn:hotpath called once per bound evaluation in the scoring inner loop
 func (v Vector) Dot(u Vector) float64 {
 	// Disjoint term ranges (distinct topical vocabularies, a frequent
 	// case on clustered trees) are detected in O(1).
