@@ -6,7 +6,7 @@ LINT_TOOL     := $(or $(TMPDIR),/tmp)/rstknn-lint
 LINT_REPORT   ?= lint-report.json
 FUZZTIME      ?= 10s
 
-.PHONY: all build test race lint lint-json lint-selftest golangci fmt fuzz bench-baseline check clean
+.PHONY: all build test race race-stress lint lint-json lint-selftest golangci fmt fuzz bench-baseline bench-mutate check clean
 
 all: build
 
@@ -18,6 +18,12 @@ test:
 
 race:
 	go test -race ./...
+
+# Hammer the copy-on-write snapshot machinery: concurrent readers
+# against live Insert/Delete/Apply writers, tree invariants checked
+# after every snapshot swap, repeated for extra interleavings.
+race-stress:
+	go test -race -run 'TestConcurrentQueryMutateRace|TestPinnedSnapshotSurvivesDelete' -count=3 .
 
 # Domain-specific analyzers (trackedio, ctxflow, locksafe, floatcmp,
 # hotalloc, sharedmut, errlost) driven through the go vet vettool
@@ -62,7 +68,13 @@ fuzz:
 bench-baseline:
 	go run ./cmd/rstknn-bench -json baseline -seed 7 -scale 0.25 -queries 16 -workers 1,2,4,8 -benchiters 3
 
-check: lint build test race fuzz
+# Regenerate the copy-on-write mutation baseline (insert/delete write
+# amplification and reclamation footprint). Same pinning rules as
+# bench-baseline: counters are cross-machine comparable, ns/op is not.
+bench-mutate:
+	go run ./cmd/rstknn-bench -mutate baseline -seed 7 -scale 0.25 -churn 2000
+
+check: lint build test race race-stress fuzz
 
 clean:
 	rm -f $(LINT_TOOL)

@@ -61,7 +61,7 @@ func benchCollection(n int) (*dataset.Collection, []dataset.QueryObject) {
 	return col, col.Queries(64, 43)
 }
 
-func benchTree(b *testing.B, n int) (*iurtree.Tree, []dataset.QueryObject) {
+func benchTree(b *testing.B, n int) (*iurtree.Snapshot, []dataset.QueryObject) {
 	b.Helper()
 	col, queries := benchCollection(n)
 	tree, err := iurtree.Build(col.Objects, iurtree.Config{Store: storage.NewStore()})

@@ -16,6 +16,13 @@
 //
 //	rstknn-bench -json baseline -seed 7              # BENCH_baseline.json
 //	rstknn-bench -json pr42 -workers 1,4 -benchiters 5
+//
+// The -mutate mode benchmarks the copy-on-write update path instead
+// (insert/delete ns/op, blob writes and pages written per op, nodes
+// retired per op, and the live-vs-total footprint after reclamation):
+//
+//	rstknn-bench -mutate baseline -seed 7            # BENCH_baseline.json
+//	rstknn-bench -mutate pr42 -scale 0.1 -churn 500
 package main
 
 import (
@@ -54,6 +61,9 @@ func run(args []string, out io.Writer) error {
 		jsonDir    = fs.String("benchdir", ".", "directory the BENCH_<label>.json is written to")
 		workers    = fs.String("workers", "1,2,4,8", "comma-separated worker counts for -json (1 = sequential)")
 		benchiters = fs.Int("benchiters", 3, "timed passes over the workload per worker count in -json mode")
+
+		mutateLabel = fs.String("mutate", "", "write the copy-on-write mutation benchmark to BENCH_<label>.json instead of running experiments")
+		mutateOps   = fs.Int("churn", 0, "steady-state delete+insert rounds in -mutate mode (0 = dataset size)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +88,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *jsonLabel != "" {
 		return runJSON(cfg, out, *jsonLabel, *jsonDir, *workers, *benchiters)
+	}
+	if *mutateLabel != "" {
+		return runMutate(cfg, out, *mutateLabel, *jsonDir, *mutateOps)
 	}
 	fmt.Fprintf(out, "rstknn-bench: scale=%g queries=%d seed=%d profile=%s\n",
 		*scale, *queries, *seed, p)
@@ -126,6 +139,29 @@ func runJSON(cfg bench.Config, out io.Writer, label, dir, workerList string, ite
 		fmt.Fprintf(out, "workers=%d  %12d ns/op  %8d allocs/op  %10.1f nodes/query  speedup %.2fx\n",
 			r.Workers, r.NsPerOp, r.AllocsPerOp, r.NodesRead, r.Speedup)
 	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// runMutate executes the copy-on-write mutation benchmark and writes
+// BENCH_<label>.json, echoing a human-readable summary to out.
+func runMutate(cfg bench.Config, out io.Writer, label, dir string, churn int) error {
+	fmt.Fprintf(out, "rstknn-bench: mutate label=%s scale=%g seed=%d churn=%d\n",
+		label, cfg.Scale, cfg.Seed, churn)
+	m, err := bench.RunMutate(cfg, label, churn)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+label+".json")
+	if err := m.WriteFile(path); err != nil {
+		return err
+	}
+	for _, r := range m.Rows {
+		fmt.Fprintf(out, "%-8s %6d ops  %10d ns/op  %6.2f writes/op  %6.2f pages/op  %6.2f retired/op\n",
+			r.Op, r.Ops, r.NsPerOp, r.WritesPerOp, r.PagesPerOp, r.RetiredPerOp)
+	}
+	fmt.Fprintf(out, "storage: %d bytes total, %d live, %d nodes freed, %d pending\n",
+		m.Storage.TotalBytes, m.Storage.LiveBytes, m.Storage.Freed, m.Storage.Pending)
 	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }

@@ -108,3 +108,36 @@ func TestRunJSONBaseline(t *testing.T) {
 		t.Error("bad -workers list should fail")
 	}
 }
+
+func TestRunMutateBench(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-mutate", "churn-smoke", "-benchdir", dir,
+		"-scale", "0.01", "-seed", "7", "-churn", "30",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_churn-smoke.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("mutate report not written: %v", err)
+	}
+	var m bench.MutateReport
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("mutate report is not valid JSON: %v", err)
+	}
+	if m.Label != "churn-smoke" || m.Schema != 1 {
+		t.Errorf("label/schema = %q/%d, want churn-smoke/1", m.Label, m.Schema)
+	}
+	if len(m.Rows) != 2 {
+		t.Fatalf("rows = %+v, want insert and churn", m.Rows)
+	}
+	out := buf.String()
+	for _, want := range []string{"insert", "churn", "storage:", "wrote " + path} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -44,6 +44,12 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	// A bare first word dispatches to the persistent-index subcommands
+	// (build/query/insert/delete/compact/stats — see subcmd.go); plain
+	// flags keep the original one-shot in-memory behavior.
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return runSub(args[0], args[1:], out)
+	}
 	fs := flag.NewFlagSet("rstknn", flag.ContinueOnError)
 	var (
 		dataPath = fs.String("data", "", "CSV collection to load (id,x,y,terms)")
@@ -233,7 +239,7 @@ func parseQuery(s string, vocab *textual.Vocabulary) (core.Query, error) {
 	return core.Query{Loc: geom.Point{X: x, Y: y}, Doc: vector.New(w)}, nil
 }
 
-func printStats(out io.Writer, objs []iurtree.Object, tree *iurtree.Tree, vocab *textual.Vocabulary) {
+func printStats(out io.Writer, objs []iurtree.Object, tree *iurtree.Snapshot, vocab *textual.Vocabulary) {
 	var totalTerms int64
 	seen := map[vector.TermID]bool{}
 	for _, o := range objs {
@@ -244,9 +250,10 @@ func printStats(out io.Writer, objs []iurtree.Object, tree *iurtree.Tree, vocab 
 	}
 	fmt.Fprintf(out, "collection: %d objects, %d unique terms, %.2f terms/object\n",
 		len(objs), len(seen), float64(totalTerms)/float64(max(1, len(objs))))
-	fmt.Fprintf(out, "index: height %d, %d nodes, %d pages, %.2f MiB",
+	fmt.Fprintf(out, "index: height %d, %d nodes, %d pages, %.2f MiB (%.2f MiB live)",
 		tree.Height(), tree.Store().Len(), tree.Store().TotalPages(),
-		float64(tree.Store().TotalBytes())/(1<<20))
+		float64(tree.Store().TotalBytes())/(1<<20),
+		float64(tree.Store().LiveBytes())/(1<<20))
 	if tree.Clustered() {
 		fmt.Fprintf(out, ", %d clusters", tree.NumClusters())
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -150,5 +151,93 @@ func TestParseQuery(t *testing.T) {
 		if _, err := parseQuery(bad, vocab); err == nil {
 			t.Errorf("parseQuery(%q) should fail", bad)
 		}
+	}
+}
+
+func TestSubcommandLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	idx := filepath.Join(dir, "idx")
+	csvPath := filepath.Join(dir, "raw.csv")
+	var lines []string
+	for i := 0; i < 60; i++ {
+		lines = append(lines, fmt.Sprintf("%d,%d,%d,dish number %d with sushi", i, i%10*7, i/10*9, i))
+	}
+	if err := os.WriteFile(csvPath, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"build", "-dir", idx, "-data", csvPath, "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"built iur index over 60 objects", "write i/o:", "live"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("build output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"insert", "-dir", idx, "-id", "100", "-x", "35", "-y", "27", "-text", "midtown sushi"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "inserted object 100 (61 objects total)") ||
+		!strings.Contains(buf.String(), "update:") {
+		t.Errorf("insert output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"query", "-dir", idx, "-query", "35,27,midtown sushi", "-k", "3", "-check"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "object 100") ||
+		!strings.Contains(buf.String(), "matches naive oracle") {
+		t.Errorf("query after insert:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"delete", "-dir", idx, "-id", "100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deleted object 100 (60 objects remain)") {
+		t.Errorf("delete output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"delete", "-dir", idx, "-id", "100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "not in the index") {
+		t.Errorf("double delete output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"compact", "-dir", idx}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compacted:") {
+		t.Errorf("compact output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"stats", "-dir", idx}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "60 objects") {
+		t.Errorf("stats output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"query", "-dir", idx, "-query", "35,27,midtown sushi", "-k", "3", "-check"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "object 100") {
+		t.Errorf("deleted object still reported:\n%s", buf.String())
+	}
+
+	if err := run([]string{"frobnicate"}, &buf); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+	if err := run([]string{"insert", "-dir", idx}, &buf); err == nil {
+		t.Error("insert without -id should fail")
 	}
 }

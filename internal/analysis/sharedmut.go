@@ -18,7 +18,12 @@ package analysis
 //     disjoint-partition idiom (a captured map never qualifies:
 //     concurrent map writes race even on disjoint keys);
 //   - calls to functions whose WritesShared fact is set are flagged, so
-//     the rule is transitive through helpers and across packages.
+//     the rule is transitive through helpers and across packages;
+//   - the snapshot-swap publication path is sanctioned: method calls on
+//     sync/atomic values (Store, Swap, CompareAndSwap, Add, ...) are the
+//     blessed way to publish shared state from any goroutine, but
+//     *assigning over* an atomic value inside a closure is flagged with
+//     its own message — it races with every concurrent method call.
 //
 // `go f(...)` with a named function is judged by f's WritesShared fact.
 
@@ -68,6 +73,12 @@ func checkGoClosure(pass *Pass, lit *ast.FuncLit) {
 		case *ast.IncDecStmt:
 			checkClosureWrite(pass, lit, s.X)
 		case *ast.CallExpr:
+			if atomicMethodCall(pass.TypesInfo, s) {
+				// Sanctioned: Store/Swap/CompareAndSwap/... on a
+				// sync/atomic value is the snapshot-swap publication
+				// path; the atomic owns its synchronization.
+				return true
+			}
 			if fn := staticCallee(pass.TypesInfo, s); fn != nil {
 				if sum := pass.Facts.SummaryOf(fn); sum != nil && sum.WritesShared {
 					pass.Reportf(s.Pos(), "goroutine closure calls %s, which writes shared state (%s)",
@@ -89,14 +100,20 @@ func checkClosureWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr) {
 		if !ok || v.IsField() {
 			return
 		}
+		if v.Parent() != pass.Pkg.Scope() && !capturedByLit(lit, v) {
+			return
+		}
+		if atomicValueType(info.TypeOf(e)) {
+			pass.Reportf(lhs.Pos(),
+				"goroutine closure assigns over atomic %s, racing its method calls; publish with Store or Swap", v.Name())
+			return
+		}
 		if v.Parent() == pass.Pkg.Scope() {
 			pass.Reportf(lhs.Pos(), "goroutine closure writes package-level variable %s", v.Name())
 			return
 		}
-		if capturedByLit(lit, v) {
-			pass.Reportf(lhs.Pos(),
-				"goroutine closure writes captured variable %s; merge through an indexed slice partition instead", v.Name())
-		}
+		pass.Reportf(lhs.Pos(),
+			"goroutine closure writes captured variable %s; merge through an indexed slice partition instead", v.Name())
 	case *ast.IndexExpr:
 		base, baseVar := writeBase(info, e.X)
 		if baseVar == nil {
@@ -126,15 +143,48 @@ func checkClosureWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr) {
 		if baseVar == nil {
 			return
 		}
+		if baseVar.Parent() != pass.Pkg.Scope() && !capturedByLit(lit, baseVar) {
+			return
+		}
+		if atomicValueType(info.TypeOf(ast.Unparen(lhs))) {
+			pass.Reportf(lhs.Pos(),
+				"goroutine closure assigns over an atomic through %s, racing its method calls; publish with Store or Swap", baseVar.Name())
+			return
+		}
 		if baseVar.Parent() == pass.Pkg.Scope() {
 			pass.Reportf(lhs.Pos(), "goroutine closure writes package-level %s", baseVar.Name())
 			return
 		}
-		if capturedByLit(lit, baseVar) {
-			pass.Reportf(lhs.Pos(),
-				"goroutine closure writes through captured %s; workers must not mutate shared structures", baseVar.Name())
-		}
+		pass.Reportf(lhs.Pos(),
+			"goroutine closure writes through captured %s; workers must not mutate shared structures", baseVar.Name())
 	}
+}
+
+// atomicValueType reports whether t is a value type declared in
+// sync/atomic (atomic.Pointer[T], atomic.Int64, atomic.Value, ...).
+func atomicValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// atomicMethodCall reports whether call invokes a method on a
+// sync/atomic value — the sanctioned publication path for shared state
+// (the snapshot-swap idiom: state.Store(next) from a serialized writer,
+// state.Load() from any reader).
+func atomicMethodCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return atomicValueType(t)
 }
 
 // writeBase peels selectors, indexes, and derefs down to the root

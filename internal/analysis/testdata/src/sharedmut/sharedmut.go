@@ -1,7 +1,10 @@
 // Package sharedmut is an analysistest fixture for the sharedmut
-// analyzer: the legal worker merge path and every illegal shared-write
-// shape inside goroutine closures.
+// analyzer: the legal worker merge path, the sanctioned atomic
+// snapshot-swap publication path, and every illegal shared-write shape
+// inside goroutine closures.
 package sharedmut
+
+import "sync/atomic"
 
 var hits int
 
@@ -69,4 +72,42 @@ func blessed() {
 		//rstknn:allow sharedmut single writer by construction here
 		hits++
 	}()
+}
+
+// ------------------------------------------------------------------
+// The snapshot-swap publication path.
+
+type snapshot struct{ n int }
+
+type engine struct {
+	state atomic.Pointer[snapshot]
+	seq   atomic.Int64
+}
+
+var ready atomic.Bool
+
+// publishSwap is the sanctioned shape: shared state is published from a
+// goroutine exclusively through atomic method calls, which own their
+// synchronization.
+func publishSwap(e *engine, next *snapshot) {
+	go func() {
+		e.state.Store(next)      // clean: atomic Store is the publication path
+		e.seq.Add(1)             // clean: atomic read-modify-write
+		old := e.state.Swap(nil) // clean: atomic Swap
+		_ = old
+		ready.Store(true) // clean: even on a package-level atomic
+	}()
+}
+
+// overwriteAtomic races every concurrent Load/Store on the same value:
+// plain assignment bypasses the atomic's synchronization entirely.
+func overwriteAtomic(e *engine, b *atomic.Bool) {
+	var local atomic.Int64
+	go func() {
+		e.state = atomic.Pointer[snapshot]{} // want `assigns over an atomic through e, racing its method calls`
+		*b = atomic.Bool{}                   // want `assigns over an atomic through b, racing its method calls`
+		ready = atomic.Bool{}                // want `assigns over atomic ready, racing its method calls`
+		local = atomic.Int64{}               // want `assigns over atomic local, racing its method calls`
+	}()
+	_ = local
 }

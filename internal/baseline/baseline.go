@@ -98,7 +98,7 @@ type Precompute struct {
 // spatial-textual top-k search over the tree. The cost of this pass —
 // |D| top-k searches — is exactly the paper's motivation for avoiding
 // precomputation.
-func BuildPrecompute(t *iurtree.Tree, objs []iurtree.Object, k int, alpha float64, sim vector.TextSim) (*Precompute, error) {
+func BuildPrecompute(t *iurtree.Snapshot, objs []iurtree.Object, k int, alpha float64, sim vector.TextSim) (*Precompute, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("baseline: K must be positive, got %d", k)
 	}

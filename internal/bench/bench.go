@@ -135,7 +135,7 @@ var treeMethods = []method{
 // builtMethod pairs a method with its sealed tree.
 type builtMethod struct {
 	method
-	tree  *iurtree.Tree
+	tree  *iurtree.Snapshot
 	build time.Duration
 }
 

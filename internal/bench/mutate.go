@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"rstknn/internal/geom"
+	"rstknn/internal/iurtree"
+	"rstknn/internal/storage"
+)
+
+// The mutation-regression baseline: a machine-readable record of the
+// copy-on-write update path's cost. `rstknn-bench -mutate <label>`
+// builds the tree over half the fixture, inserts the other half, then
+// runs a steady-state insert/delete churn — every retired path handed to
+// the epoch reclaimer — and records ns/op, blob writes and pages written
+// per op, nodes retired per op, and the final live-vs-total footprint.
+// WritesPerOp, PagesPerOp, RetiredPerOp, and the byte totals are
+// deterministic for a given seed, so write-amplification regressions are
+// comparable across machines; ns/op is hardware-dependent.
+
+// MutateReport is the serialized mutation benchmark record.
+type MutateReport struct {
+	Label    string           `json:"label"`
+	Schema   int              `json:"schema"`
+	Machine  BaselineMachine  `json:"machine"`
+	Workload MutateWorkload   `json:"workload"`
+	Rows     []MutateRow      `json:"rows"`
+	Storage  MutateStorageRow `json:"storage"`
+}
+
+// MutateWorkload pins the inputs of the measurement.
+type MutateWorkload struct {
+	Profile string `json:"profile"`
+	Objects int    `json:"objects"`
+	Churn   int    `json:"churn_ops"`
+	Seed    int64  `json:"seed"`
+}
+
+// MutateRow is the measurement for one operation kind.
+type MutateRow struct {
+	Op           string  `json:"op"`
+	Ops          int     `json:"ops"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	WritesPerOp  float64 `json:"writes_per_op"`
+	PagesPerOp   float64 `json:"pages_written_per_op"`
+	RetiredPerOp float64 `json:"retired_per_op"`
+}
+
+// MutateStorageRow captures the footprint after the churn, proving
+// reclamation keeps live usage bounded.
+type MutateStorageRow struct {
+	TotalBytes int64 `json:"total_bytes"`
+	LiveBytes  int64 `json:"live_bytes"`
+	Freed      int64 `json:"nodes_freed"`
+	Pending    int   `json:"nodes_pending"`
+}
+
+// RunMutate builds the scaled fixture, loads half statically and half
+// through COW inserts, then measures churn ops (default fixture size) of
+// alternating insert/delete steady-state traffic.
+func RunMutate(cfg Config, label string, churn int) (*MutateReport, error) {
+	cfg = cfg.withDefaults()
+	col, _ := fixture(cfg, defaultN/2)
+	objs := col.Objects
+	if churn <= 0 {
+		churn = len(objs)
+	}
+	half := len(objs) / 2
+
+	store := storage.NewStore()
+	tree, err := iurtree.Build(objs[:half], iurtree.Config{Store: store})
+	if err != nil {
+		return nil, err
+	}
+	rec := storage.NewReclaimer(store)
+
+	report := &MutateReport{
+		Label:  label,
+		Schema: 1,
+		Machine: BaselineMachine{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Workload: MutateWorkload{
+			Profile: fmt.Sprint(cfg.Profile),
+			Objects: len(objs),
+			Churn:   churn,
+			Seed:    cfg.Seed,
+		},
+	}
+
+	// Phase 1: grow the sealed tree to full size through the COW path.
+	var tracker storage.Tracker
+	var retired int64
+	start := time.Now()
+	for _, o := range objs[half:] {
+		next, rets, err := tree.Insert(o, &tracker)
+		if err != nil {
+			return nil, err
+		}
+		tree = next
+		retired += int64(len(rets))
+		rec.Retire(rets)
+	}
+	report.Rows = append(report.Rows, mutateRow("insert", len(objs)-half, start, &tracker, retired))
+
+	// Phase 2: steady-state churn — delete a random live object, insert
+	// a replacement — at constant size.
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	live := append([]iurtree.Object(nil), objs...)
+	nextID := int32(1 << 20)
+	tracker.Reset()
+	retired = 0
+	var delOps, insOps int
+	start = time.Now()
+	for i := 0; i < churn; i++ {
+		j := rng.Intn(len(live))
+		victim := live[j]
+		next, rets, ok, err := tree.Delete(victim.ID, victim.Loc, &tracker)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("bench: live object %d not found", victim.ID)
+		}
+		tree = next
+		retired += int64(len(rets))
+		rec.Retire(rets)
+		delOps++
+
+		repl := iurtree.Object{
+			ID:  nextID,
+			Loc: geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			Doc: victim.Doc,
+		}
+		nextID++
+		next, rets, err = tree.Insert(repl, &tracker)
+		if err != nil {
+			return nil, err
+		}
+		tree = next
+		retired += int64(len(rets))
+		rec.Retire(rets)
+		insOps++
+		live[j] = repl
+	}
+	report.Rows = append(report.Rows, mutateRow("churn", delOps+insOps, start, &tracker, retired))
+
+	rec.TryFree()
+	rs := rec.Stats()
+	report.Storage = MutateStorageRow{
+		TotalBytes: store.TotalBytes(),
+		LiveBytes:  store.LiveBytes(),
+		Freed:      rs.Freed,
+		Pending:    rs.Pending,
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("bench: tree corrupted by mutation workload: %w", err)
+	}
+	return report, nil
+}
+
+func mutateRow(op string, ops int, start time.Time, tr *storage.Tracker, retired int64) MutateRow {
+	elapsed := time.Since(start)
+	if ops <= 0 {
+		ops = 1
+	}
+	return MutateRow{
+		Op:           op,
+		Ops:          ops,
+		NsPerOp:      elapsed.Nanoseconds() / int64(ops),
+		WritesPerOp:  float64(tr.Writes()) / float64(ops),
+		PagesPerOp:   float64(tr.PagesWritten()) / float64(ops),
+		RetiredPerOp: float64(retired) / float64(ops),
+	}
+}
+
+// WriteFile serializes the report to path as indented JSON.
+func (m *MutateReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunMutate runs the mutation benchmark at test scale and checks the
+// report's structural properties: both phases measured, every op charged
+// write I/O, and all retired paths reclaimed once the run ends (the churn
+// must have produced garbage that was then freed).
+func TestRunMutate(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Scale: 0.01, Seed: 3}
+	m, err := RunMutate(cfg, "unit", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Label != "unit" || m.Schema != 1 {
+		t.Errorf("label/schema = %q/%d, want unit/1", m.Label, m.Schema)
+	}
+	if m.Workload.Objects < 50 || m.Workload.Churn != 40 {
+		t.Errorf("workload = %+v", m.Workload)
+	}
+	if len(m.Rows) != 2 || m.Rows[0].Op != "insert" || m.Rows[1].Op != "churn" {
+		t.Fatalf("rows = %+v, want [insert churn]", m.Rows)
+	}
+	for _, r := range m.Rows {
+		if r.Ops <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: ops=%d ns/op=%d, want > 0", r.Op, r.Ops, r.NsPerOp)
+		}
+		// Every COW op re-encodes at least the root-to-leaf path, so it
+		// must charge at least one blob write and retire at least one node.
+		if r.WritesPerOp < 1 {
+			t.Errorf("%s: writes/op = %g, want >= 1", r.Op, r.WritesPerOp)
+		}
+		if r.PagesPerOp < r.WritesPerOp {
+			t.Errorf("%s: pages/op %g < writes/op %g", r.Op, r.PagesPerOp, r.WritesPerOp)
+		}
+		if r.RetiredPerOp <= 0 {
+			t.Errorf("%s: retired/op = %g, want > 0", r.Op, r.RetiredPerOp)
+		}
+	}
+	if m.Storage.Pending != 0 {
+		t.Errorf("pending reclaim = %d, want 0 with no pinned readers", m.Storage.Pending)
+	}
+	if m.Storage.Freed <= 0 {
+		t.Errorf("nodes freed = %d, want > 0 after churn", m.Storage.Freed)
+	}
+	// With no pinned readers TryFree reclaims everything, so live bytes
+	// converge back to the total — the bounded-churn guarantee.
+	if m.Storage.LiveBytes <= 0 || m.Storage.LiveBytes != m.Storage.TotalBytes {
+		t.Errorf("live bytes %d should be positive and equal total %d after reclamation",
+			m.Storage.LiveBytes, m.Storage.TotalBytes)
+	}
+}
+
+// TestRunMutateDeterministicCounters pins that the seed fully determines
+// the write-amplification counters, so BENCH files from different
+// machines are comparable on everything but ns/op.
+func TestRunMutateDeterministicCounters(t *testing.T) {
+	cfg := Config{Out: &bytes.Buffer{}, Scale: 0.01, Seed: 9}
+	a, err := RunMutate(cfg, "a", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMutate(cfg, "b", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.WritesPerOp != rb.WritesPerOp || ra.PagesPerOp != rb.PagesPerOp ||
+			ra.RetiredPerOp != rb.RetiredPerOp {
+			t.Errorf("%s: counters differ across identical runs: %+v vs %+v", ra.Op, ra, rb)
+		}
+	}
+	if a.Storage.TotalBytes != b.Storage.TotalBytes || a.Storage.LiveBytes != b.Storage.LiveBytes {
+		t.Errorf("storage footprint differs across identical runs: %+v vs %+v", a.Storage, b.Storage)
+	}
+}
+
+// TestMutateReportWriteFile round-trips the JSON record.
+func TestMutateReportWriteFile(t *testing.T) {
+	m := &MutateReport{Label: "rt", Schema: 1, Rows: []MutateRow{{Op: "insert", Ops: 1, NsPerOp: 5}}}
+	path := filepath.Join(t.TempDir(), "BENCH_rt.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got MutateReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got.Label != "rt" || len(got.Rows) != 1 || got.Rows[0].Op != "insert" {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+}

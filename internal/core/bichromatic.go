@@ -29,7 +29,7 @@ import (
 // reading as little of the tree as the bound allows. Metrics report the
 // traversal work. Only opt.Alpha, opt.Sim, opt.Ctx, and opt.Tracker are
 // consulted; the count cutoff is the explicit limit parameter, not opt.K.
-func CountExceeding(t *iurtree.Tree, q Query, threshold float64, limit int, opt BichromaticOptions) (int, Metrics, error) {
+func CountExceeding(t *iurtree.Snapshot, q Query, threshold float64, limit int, opt BichromaticOptions) (int, Metrics, error) {
 	var m Metrics
 	if opt.Alpha < 0 || opt.Alpha > 1 {
 		return 0, m, fmt.Errorf("core: Alpha must be in [0,1], got %g", opt.Alpha)
@@ -105,7 +105,7 @@ type BichromaticOutcome struct {
 // BichromaticRSTkNN returns every user u (from the in-memory user set) for
 // whom the query facility q would rank within u's top-k facilities among
 // the indexed facility set.
-func BichromaticRSTkNN(facilities *iurtree.Tree, users []iurtree.Object, q Query, opt BichromaticOptions) (*BichromaticOutcome, error) {
+func BichromaticRSTkNN(facilities *iurtree.Snapshot, users []iurtree.Object, q Query, opt BichromaticOptions) (*BichromaticOutcome, error) {
 	if opt.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive, got %d", opt.K)
 	}
@@ -192,7 +192,7 @@ func BichromaticRSTkNN(facilities *iurtree.Tree, users []iurtree.Object, q Query
 // influenced iff strictly fewer than opt.K facilities beat the query's
 // similarity to the user. The caller-owned scorer accumulates the exact
 // similarity evaluated here; traversal work is returned in m.
-func testUser(facilities *iurtree.Tree, u *iurtree.Object, q *Query, sc *Scorer, opt BichromaticOptions) (influenced bool, m Metrics, err error) {
+func testUser(facilities *iurtree.Snapshot, u *iurtree.Object, q *Query, sc *Scorer, opt BichromaticOptions) (influenced bool, m Metrics, err error) {
 	uq := Query{Loc: u.Loc, Doc: u.Doc}
 	s0 := sc.Exact(u.Loc, u.Doc, q.Loc, q.Doc)
 	better, m, err := CountExceeding(facilities, uq, s0, opt.K, opt)

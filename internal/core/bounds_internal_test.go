@@ -94,7 +94,7 @@ func TestKNNBoundsBracketTruth(t *testing.T) {
 	}
 }
 
-func wbCheckSubtree(tree *iurtree.Tree, e *iurtree.Entry, truth []float64, knnl, knnu float64) error {
+func wbCheckSubtree(tree *iurtree.Snapshot, e *iurtree.Entry, truth []float64, knnl, knnu float64) error {
 	if e.IsObject() {
 		kth := truth[e.ObjID]
 		if kth < knnl-1e-9 {

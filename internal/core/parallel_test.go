@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"rstknn/internal/core"
+	"rstknn/internal/iurtree"
 	"rstknn/internal/storage"
 )
 
@@ -73,16 +74,41 @@ func TestParallelMatchesSequential(t *testing.T) {
 		name     string
 		clusters int
 		strategy core.RefineStrategy
+		// mutated routes half the dataset through the copy-on-write
+		// Insert/Delete path instead of the static bulk load, so the
+		// determinism property is pinned on write-path snapshots too.
+		mutated bool
 	}{
-		{"iur-maxupper", 0, core.RefineByMaxUpper},
-		{"iur-entropy", 0, core.RefineByEntropy},
-		{"ciur-maxupper", 6, core.RefineByMaxUpper},
-		{"ciur-entropy", 6, core.RefineByEntropy},
+		{"iur-maxupper", 0, core.RefineByMaxUpper, false},
+		{"iur-entropy", 0, core.RefineByEntropy, false},
+		{"ciur-maxupper", 6, core.RefineByMaxUpper, false},
+		{"ciur-entropy", 6, core.RefineByEntropy, false},
+		{"iur-maxupper-cow", 0, core.RefineByMaxUpper, true},
+		{"iur-entropy-cow", 0, core.RefineByEntropy, true},
 	}
 	for _, cfg := range configs {
 		t.Run(cfg.name, func(t *testing.T) {
 			objs := genObjects(rng, 200+rng.Intn(150), 40, 6)
-			tree := buildTree(t, objs, cfg.clusters, false)
+			var tree *iurtree.Snapshot
+			if cfg.mutated {
+				tree = buildTree(t, objs[:len(objs)/2], cfg.clusters, false)
+				for _, o := range objs[len(objs)/2:] {
+					next, _, err := tree.Insert(o, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tree = next
+				}
+				for i := 0; i < len(objs); i += 9 {
+					next, _, ok, err := tree.Delete(objs[i].ID, objs[i].Loc, nil)
+					if err != nil || !ok {
+						t.Fatalf("Delete(%d): ok=%v err=%v", objs[i].ID, ok, err)
+					}
+					tree = next
+				}
+			} else {
+				tree = buildTree(t, objs, cfg.clusters, false)
+			}
 			for trial := 0; trial < 4; trial++ {
 				k := []int{1, 3, 10}[rng.Intn(3)]
 				alpha := []float64{0, 0.5, 1}[rng.Intn(3)]

@@ -182,7 +182,7 @@ type queued struct {
 // that SimST(o, q) >= SimST(o, o_k), where o_k is o's k-th most similar
 // indexed object (excluding o itself). Objects with fewer than k
 // neighbors are always results.
-func RSTkNN(t *iurtree.Tree, q Query, opt Options) (*Outcome, error) {
+func RSTkNN(t *iurtree.Snapshot, q Query, opt Options) (*Outcome, error) {
 	if opt.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive, got %d", opt.K)
 	}
@@ -213,7 +213,7 @@ func RSTkNN(t *iurtree.Tree, q Query, opt Options) (*Outcome, error) {
 // it to exhaustion (sequentially or in parallel rounds), and merges the
 // per-worker tallies into the Outcome.
 type searcher struct {
-	tree    *iurtree.Tree
+	tree    *iurtree.Snapshot
 	opt     Options
 	out     *Outcome
 	workers int

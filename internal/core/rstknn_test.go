@@ -52,7 +52,7 @@ func genQuery(rng *rand.Rand, vocab, maxTerms int) core.Query {
 	}
 }
 
-func buildTree(t *testing.T, objs []iurtree.Object, clusters int, incremental bool) *iurtree.Tree {
+func buildTree(t *testing.T, objs []iurtree.Object, clusters int, incremental bool) *iurtree.Snapshot {
 	t.Helper()
 	cfg := iurtree.Config{Store: storage.NewStore(), Incremental: incremental}
 	if clusters > 0 {
@@ -316,22 +316,25 @@ func TestRSTkNNAfterDynamicUpdates(t *testing.T) {
 	objs := genObjects(rng, 260, 30, 5)
 	tree := buildTree(t, objs[:130], 0, false)
 	for _, o := range objs[130:] {
-		if err := tree.Insert(o); err != nil {
+		next, _, err := tree.Insert(o, nil)
+		if err != nil {
 			t.Fatal(err)
 		}
+		tree = next
 	}
 	final := append([]iurtree.Object(nil), objs...)
 	// Delete every 7th object.
 	var kept []iurtree.Object
 	for i, o := range final {
 		if i%7 == 0 {
-			ok, err := tree.Delete(o.ID, o.Loc)
+			next, _, ok, err := tree.Delete(o.ID, o.Loc, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !ok {
 				t.Fatalf("Delete(%d) not found", o.ID)
 			}
+			tree = next
 			continue
 		}
 		kept = append(kept, o)

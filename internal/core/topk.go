@@ -40,7 +40,7 @@ type TopKOptions struct {
 // precomputation baseline relies on. Results are sorted by descending
 // similarity (ties by ascending ID). The returned metrics count node
 // reads and similarity evaluations.
-func TopK(t *iurtree.Tree, q Query, opt TopKOptions) ([]Neighbor, Metrics, error) {
+func TopK(t *iurtree.Snapshot, q Query, opt TopKOptions) ([]Neighbor, Metrics, error) {
 	var m Metrics
 	if opt.K <= 0 {
 		return nil, m, fmt.Errorf("core: K must be positive, got %d", opt.K)
@@ -104,7 +104,7 @@ func TopK(t *iurtree.Tree, q Query, opt TopKOptions) ([]Neighbor, Metrics, error
 // indexed object (excluding `exclude`), or -Inf when fewer than k other
 // objects exist. This is the threshold the reverse query compares
 // against: o is an RSTkNN result iff SimST(o, q) >= KthSimilarity(o).
-func KthSimilarity(t *iurtree.Tree, q Query, opt TopKOptions) (float64, Metrics, error) {
+func KthSimilarity(t *iurtree.Snapshot, q Query, opt TopKOptions) (float64, Metrics, error) {
 	nbs, m, err := TopK(t, q, opt)
 	if err != nil {
 		return 0, m, err

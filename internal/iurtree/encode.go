@@ -28,7 +28,7 @@ import (
 //	  per cluster summary:
 //	    i32 cluster, i32 count, u8 shape, vector | envelope
 //
-// Tree header blob layout (written by Save):
+// Snapshot header blob layout (written by Save):
 //
 //	magic "IURT", u16 version
 //	i32 root, i32 size, i32 height, i32 numClusters
@@ -235,7 +235,7 @@ func decodeNode(buf []byte) (*Node, error) {
 
 // Save serializes the tree header onto the store and returns its NodeID,
 // allowing the tree to be reopened with Open against the same store.
-func (t *Tree) Save() storage.NodeID {
+func (t *Snapshot) Save() storage.NodeID {
 	buf := make([]byte, 0, 128)
 	buf = append(buf, headerMagic...)
 	buf = binary.LittleEndian.AppendUint16(buf, headerVersion)
@@ -249,7 +249,7 @@ func (t *Tree) Save() storage.NodeID {
 }
 
 // Open reopens a tree previously Saved under headerID on the given store.
-func Open(store storage.Blobs, headerID storage.NodeID) (*Tree, error) {
+func Open(store storage.Blobs, headerID storage.NodeID) (*Snapshot, error) {
 	//rstknn:allow trackedio one-time header read at open, before any query exists
 	buf, err := store.Get(headerID)
 	if err != nil {
@@ -265,7 +265,7 @@ func Open(store storage.Blobs, headerID storage.NodeID) (*Tree, error) {
 	if len(buf) < off+16 {
 		return nil, fmt.Errorf("iurtree: truncated header")
 	}
-	t := &Tree{store: store}
+	t := &Snapshot{store: store}
 	t.rootID = storage.NodeID(binary.LittleEndian.Uint32(buf[off:]))
 	t.size = int(int32(binary.LittleEndian.Uint32(buf[off+4:])))
 	t.height = int(int32(binary.LittleEndian.Uint32(buf[off+8:])))

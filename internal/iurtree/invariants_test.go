@@ -9,9 +9,10 @@ import (
 	"rstknn/internal/vector"
 )
 
-// randomOp applies one random insert or delete to the tree, mirroring it
-// in live, and returns a short label for failure messages.
-func randomOp(t *testing.T, rng *rand.Rand, tr *Tree, live map[int32]Object, next *int32, pInsert float64) string {
+// randomOp applies one random insert or delete, mirroring it in live,
+// and returns the successor snapshot plus a short label for failure
+// messages.
+func randomOp(t *testing.T, rng *rand.Rand, tr *Snapshot, live map[int32]Object, next *int32, pInsert float64) (*Snapshot, string) {
 	t.Helper()
 	if len(live) == 0 || rng.Float64() < pInsert {
 		o := Object{
@@ -20,14 +21,15 @@ func randomOp(t *testing.T, rng *rand.Rand, tr *Tree, live map[int32]Object, nex
 			Doc: vector.New(map[vector.TermID]float64{vector.TermID(rng.Intn(25)): 1 + rng.Float64()}),
 		}
 		*next++
-		if err := tr.Insert(o); err != nil {
+		nt, _, err := tr.Insert(o, nil)
+		if err != nil {
 			t.Fatalf("Insert(%d): %v", o.ID, err)
 		}
 		live[o.ID] = o
-		return "insert"
+		return nt, "insert"
 	}
 	for _, o := range live {
-		ok, err := tr.Delete(o.ID, o.Loc)
+		nt, _, ok, err := tr.Delete(o.ID, o.Loc, nil)
 		if err != nil {
 			t.Fatalf("Delete(%d): %v", o.ID, err)
 		}
@@ -35,9 +37,9 @@ func randomOp(t *testing.T, rng *rand.Rand, tr *Tree, live map[int32]Object, nex
 			t.Fatalf("Delete(%d): live object not found", o.ID)
 		}
 		delete(live, o.ID)
-		return "delete"
+		return nt, "delete"
 	}
-	return "noop"
+	return tr, "noop"
 }
 
 // TestInvariantsHoldAfterEveryOp runs a long randomized insert/delete
@@ -65,7 +67,8 @@ func TestInvariantsHoldAfterEveryOp(t *testing.T) {
 	step := 0
 	for _, ph := range phases {
 		for i := 0; i < ph.ops; i++ {
-			op := randomOp(t, rng, tr, live, &next, ph.pInsert)
+			var op string
+			tr, op = randomOp(t, rng, tr, live, &next, ph.pInsert)
 			if tr.Len() != len(live) {
 				t.Fatalf("%s step %d (%s): Len = %d, want %d", ph.name, step, op, tr.Len(), len(live))
 			}
@@ -79,10 +82,11 @@ func TestInvariantsHoldAfterEveryOp(t *testing.T) {
 	// Drain to empty: exercises deletion underflow all the way down to
 	// root collapse and the empty-tree representation.
 	for id, o := range live {
-		ok, err := tr.Delete(o.ID, o.Loc)
+		nt, _, ok, err := tr.Delete(o.ID, o.Loc, nil)
 		if err != nil || !ok {
 			t.Fatalf("drain Delete(%d): ok=%v err=%v", id, ok, err)
 		}
+		tr = nt
 		delete(live, id)
 		if err := tr.CheckInvariants(); err != nil {
 			t.Fatalf("drain at size %d: %v", tr.Len(), err)
@@ -96,7 +100,7 @@ func TestInvariantsHoldAfterEveryOp(t *testing.T) {
 
 	// The tree must be fully usable after the drain.
 	for i := 0; i < 50; i++ {
-		randomOp(t, rng, tr, live, &next, 1.0)
+		tr, _ = randomOp(t, rng, tr, live, &next, 1.0)
 		if err := tr.CheckInvariants(); err != nil {
 			t.Fatalf("rebuild at size %d: %v", tr.Len(), err)
 		}

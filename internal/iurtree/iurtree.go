@@ -102,14 +102,19 @@ type Config struct {
 	Incremental bool
 }
 
-// Tree is a sealed (read-only) IUR-tree or CIUR-tree over a simulated
-// disk. Build one with Build, or reopen a saved one with Open.
+// Snapshot is one immutable version of an IUR-tree or CIUR-tree over a
+// simulated disk. Build one with Build, reopen a saved one with Open, or
+// derive the next version with Insert/Delete — updates are path-copying
+// copy-on-write and return a NEW snapshot instead of mutating the
+// receiver.
 //
-// A sealed tree is safe for concurrent readers: ReadNode/ReadNodeTracked,
+// A snapshot is safe for concurrent readers: ReadNode/ReadNodeTracked,
 // Walk, and the accessor methods may be called from any number of
-// goroutines. Insert and Delete mutate the tree and must not run
-// concurrently with each other or with readers.
-type Tree struct {
+// goroutines, and keep working while Insert/Delete derive successor
+// snapshots from it. The only lifetime rule: once the NodeIDs an update
+// retired are freed (storage.Reclaimer), the superseded snapshots that
+// referenced them must no longer be read.
+type Snapshot struct {
 	store       storage.Blobs
 	rootID      storage.NodeID
 	rootEntry   Entry // summary of the whole dataset
@@ -123,7 +128,7 @@ type Tree struct {
 
 // Build constructs the tree over the given objects and seals it to disk.
 // Object IDs must be unique; they are the identifiers query results use.
-func Build(objects []Object, cfg Config) (*Tree, error) {
+func Build(objects []Object, cfg Config) (*Snapshot, error) {
 	if cfg.Store == nil {
 		return nil, errors.New("iurtree: Config.Store is required")
 	}
@@ -163,7 +168,7 @@ func Build(objects []Object, cfg Config) (*Tree, error) {
 		rt.BulkLoad(items)
 	}
 
-	t := &Tree{
+	t := &Snapshot{
 		store:  cfg.Store,
 		height: rt.Height(),
 		size:   len(objects),
@@ -274,7 +279,7 @@ func summarize(n *Node, id storage.NodeID) Entry {
 
 // ReadNode fetches and decodes the node stored under id, charging
 // simulated I/O on the underlying store.
-func (t *Tree) ReadNode(id storage.NodeID) (*Node, error) {
+func (t *Snapshot) ReadNode(id storage.NodeID) (*Node, error) {
 	return t.ReadNodeTracked(id, nil)
 }
 
@@ -284,7 +289,7 @@ func (t *Tree) ReadNode(id storage.NodeID) (*Node, error) {
 // page I/O and the deserialization, and is charged to the tracker as a
 // cache hit. The returned node is shared with other queries when the
 // cache is on — treat it as read-only.
-func (t *Tree) ReadNodeTracked(id storage.NodeID, tr *storage.Tracker) (*Node, error) {
+func (t *Snapshot) ReadNodeTracked(id storage.NodeID, tr *storage.Tracker) (*Node, error) {
 	if t.nodeCache != nil {
 		if n, ok := t.nodeCache.get(id); ok {
 			tr.ChargeCacheHit()
@@ -303,13 +308,13 @@ func (t *Tree) ReadNodeTracked(id storage.NodeID, tr *storage.Tracker) (*Node, e
 
 // readNodeFresh fetches and decodes a private copy of the node, bypassing
 // the decoded-node cache in both directions. The update paths use it so
-// the nodes they mutate in place are never shared with concurrent-reader
-// cache entries.
-func (t *Tree) readNodeFresh(id storage.NodeID) (*Node, error) {
-	return t.decodeFrom(id, nil)
+// the entry slices they edit before re-encoding are never shared with
+// concurrent-reader cache entries; their read I/O is charged to tr.
+func (t *Snapshot) readNodeFresh(id storage.NodeID, tr *storage.Tracker) (*Node, error) {
+	return t.decodeFrom(id, tr)
 }
 
-func (t *Tree) decodeFrom(id storage.NodeID, tr *storage.Tracker) (*Node, error) {
+func (t *Snapshot) decodeFrom(id storage.NodeID, tr *storage.Tracker) (*Node, error) {
 	blob, err := t.store.GetTracked(id, tr)
 	if err != nil {
 		return nil, err
@@ -328,7 +333,7 @@ func (t *Tree) decodeFrom(id storage.NodeID, tr *storage.Tracker) (*Node, error)
 // charged to the reader's Tracker as cache hits. Because cache hits
 // bypass the storage layer, enable it for serving throughput, not when
 // reproducing the paper's cold I/O counts.
-func (t *Tree) SetNodeCache(capacity int) {
+func (t *Snapshot) SetNodeCache(capacity int) {
 	if capacity <= 0 {
 		t.nodeCache = nil
 		return
@@ -336,54 +341,57 @@ func (t *Tree) SetNodeCache(capacity int) {
 	t.nodeCache = newNodeCache(capacity)
 }
 
-// invalidateNode drops a rewritten node from the decoded-node cache.
-func (t *Tree) invalidateNode(id storage.NodeID) {
+// InvalidateNode drops one node from the decoded-node cache (shared by
+// every snapshot derived from this one). The engine calls it from the
+// reclaimer's on-free hook, so a recycled NodeID can never serve a stale
+// decode; a snapshot without a cache ignores the call.
+func (t *Snapshot) InvalidateNode(id storage.NodeID) {
 	if t.nodeCache != nil {
 		t.nodeCache.invalidate(id)
 	}
 }
 
 // RootID returns the NodeID of the root node.
-func (t *Tree) RootID() storage.NodeID { return t.rootID }
+func (t *Snapshot) RootID() storage.NodeID { return t.rootID }
 
 // RootEntry returns the entry summarizing the entire dataset: the
 // dataspace MBR, total object count, corpus envelope, and (for
 // CIUR-trees) the full cluster histogram.
-func (t *Tree) RootEntry() Entry { return t.rootEntry }
+func (t *Snapshot) RootEntry() Entry { return t.rootEntry }
 
 // Len returns the number of indexed objects.
-func (t *Tree) Len() int { return t.size }
+func (t *Snapshot) Len() int { return t.size }
 
 // Height returns the number of levels.
-func (t *Tree) Height() int { return t.height }
+func (t *Snapshot) Height() int { return t.height }
 
 // Space returns the dataspace MBR.
-func (t *Tree) Space() geom.Rect { return t.space }
+func (t *Snapshot) Space() geom.Rect { return t.space }
 
 // MaxD returns the normalization distance: the dataspace diagonal, the
 // maximum distance between any two indexed points.
-func (t *Tree) MaxD() float64 { return t.maxD }
+func (t *Snapshot) MaxD() float64 { return t.maxD }
 
 // NumClusters returns the clustering arity, or 0 for a plain IUR-tree.
-func (t *Tree) NumClusters() int { return t.numClusters }
+func (t *Snapshot) NumClusters() int { return t.numClusters }
 
 // Clustered reports whether the tree is a CIUR-tree.
-func (t *Tree) Clustered() bool { return t.numClusters > 0 }
+func (t *Snapshot) Clustered() bool { return t.numClusters > 0 }
 
 // Store exposes the underlying simulated disk (for I/O statistics).
-func (t *Tree) Store() storage.Blobs { return t.store }
+func (t *Snapshot) Store() storage.Blobs { return t.store }
 
 // Walk visits every node of the tree in depth-first order, calling visit
 // with the node and its depth (0 at the root). It charges simulated I/O
 // like any other read path; reads are unattributed (no tracker).
-func (t *Tree) Walk(visit func(n *Node, depth int) error) error {
+func (t *Snapshot) Walk(visit func(n *Node, depth int) error) error {
 	return t.WalkTracked(nil, visit)
 }
 
 // WalkTracked is Walk with the traversal's node reads attributed to tr,
 // so maintenance scans show up in per-query I/O accounting instead of
 // vanishing into the global counters. A nil tracker is allowed.
-func (t *Tree) WalkTracked(tr *storage.Tracker, visit func(n *Node, depth int) error) error {
+func (t *Snapshot) WalkTracked(tr *storage.Tracker, visit func(n *Node, depth int) error) error {
 	var rec func(id storage.NodeID, depth int) error
 	rec = func(id storage.NodeID, depth int) error {
 		n, err := t.ReadNodeTracked(id, tr)
@@ -414,13 +422,13 @@ func (t *Tree) WalkTracked(tr *storage.Tracker, visit func(n *Node, depth int) e
 // subtree, per-cluster summaries partition the entry count, and all
 // leaves sit at the same depth. Intended for tests and the -checkindex
 // maintenance command; it reads every node.
-func (t *Tree) CheckInvariants() error {
+func (t *Snapshot) CheckInvariants() error {
 	return t.CheckInvariantsTracked(nil)
 }
 
 // CheckInvariantsTracked is CheckInvariants with the walk's node reads
 // attributed to tr. A nil tracker is allowed.
-func (t *Tree) CheckInvariantsTracked(tr *storage.Tracker) error {
+func (t *Snapshot) CheckInvariantsTracked(tr *storage.Tracker) error {
 	if t.size == 0 {
 		if t.rootEntry.Count != 0 {
 			return fmt.Errorf("empty tree has root count %d", t.rootEntry.Count)

@@ -26,7 +26,7 @@ func randObjects(rng *rand.Rand, n, vocab int) []Object {
 	return objs
 }
 
-func buildIUR(t *testing.T, objs []Object, incremental bool) *Tree {
+func buildIUR(t *testing.T, objs []Object, incremental bool) *Snapshot {
 	t.Helper()
 	tr, err := Build(objs, Config{
 		Store:       storage.NewStore(),

@@ -62,9 +62,11 @@ func TestNodeCacheDisabled(t *testing.T) {
 	}
 }
 
-// TestNodeCacheInvalidatedByUpdates ensures Insert/Delete never leave a
-// stale decoded node visible: after each mutation the tree must satisfy
-// its invariants when read back through the cache.
+// TestNodeCacheInvalidatedByUpdates ensures the COW update path never
+// leaves a stale decoded node visible: successor snapshots share the
+// cache with their ancestors, recycled slots may reuse a freed NodeID,
+// and the reclaimer's on-free hook must evict the old decode first. The
+// invariant check after every mutation reads back through the cache.
 func TestNodeCacheInvalidatedByUpdates(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	objs := randObjects(rng, 120, 20)
@@ -74,27 +76,34 @@ func TestNodeCacheInvalidatedByUpdates(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr.SetNodeCache(256)
+	rec := storage.NewReclaimer(store)
+	rec.SetOnFree(tr.InvalidateNode)
 
 	// Warm the cache over the whole tree.
 	if err := tr.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 	for _, o := range objs[100:] {
-		if err := tr.Insert(o); err != nil {
+		nt, retired, err := tr.Insert(o, nil)
+		if err != nil {
 			t.Fatal(err)
 		}
+		tr = nt
+		rec.Retire(retired) // frees immediately: no pinned readers
 		if err := tr.CheckInvariants(); err != nil {
 			t.Fatalf("after Insert(%d): %v", o.ID, err)
 		}
 	}
 	for _, o := range objs[:20] {
-		ok, err := tr.Delete(o.ID, o.Loc)
+		nt, retired, ok, err := tr.Delete(o.ID, o.Loc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !ok {
 			t.Fatalf("Delete(%d) found nothing", o.ID)
 		}
+		tr = nt
+		rec.Retire(retired)
 		if err := tr.CheckInvariants(); err != nil {
 			t.Fatalf("after Delete(%d): %v", o.ID, err)
 		}

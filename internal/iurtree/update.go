@@ -2,7 +2,6 @@ package iurtree
 
 import (
 	"errors"
-
 	"math"
 
 	"rstknn/internal/geom"
@@ -10,16 +9,27 @@ import (
 	"rstknn/internal/vector"
 )
 
-// Dynamic updates on a sealed IUR-tree. The paper notes that IUR-tree
-// maintenance mirrors the underlying R-tree: inserting an object descends
-// by least enlargement, splits overflowing nodes, and refreshes the
-// augmented summaries (count, intersection/union vectors) along the
-// path; deletion removes the leaf entry and collapses empty nodes.
+// Dynamic updates by path-copying copy-on-write. The paper notes that
+// IUR-tree maintenance mirrors the underlying R-tree: inserting an
+// object descends by least enlargement, splits overflowing nodes, and
+// refreshes the augmented summaries (count, intersection/union vectors)
+// along the path; deletion removes the leaf entry and collapses empty
+// nodes.
+//
+// Unlike the textbook in-place algorithm, nothing here mutates a stored
+// node: every node along the root-to-leaf path is re-encoded into a
+// FRESH blob (storage.Blobs.PutTracked) and the update returns a new
+// immutable *Snapshot plus the list of superseded NodeIDs. The receiver
+// snapshot stays fully queryable — concurrent readers traversing it
+// never observe a half-applied update — and the caller decides when the
+// superseded blobs are reclaimed (the engine routes them through
+// storage.Reclaimer so they are freed only once no pinned reader can
+// reach them).
 //
 // CIUR-trees are rejected: their per-cluster summaries depend on an
 // offline clustering that a single insert cannot meaningfully extend
 // (the paper likewise treats clustering as an index-construction step) —
-// rebuild to refresh a clustered index.
+// rebuild in the background and swap the fresh snapshot in.
 //
 // Deletion uses a simplified policy compared to Guttman's CondenseTree:
 // underfull nodes are tolerated (queries remain exact; only packing
@@ -30,24 +40,32 @@ import (
 // ErrClustered is returned by Insert/Delete on CIUR-trees.
 var ErrClustered = errors.New("iurtree: clustered trees are sealed; rebuild to update")
 
-// Insert adds one object to a sealed (unclustered) tree.
-func (t *Tree) Insert(o Object) error {
+// derive returns a copy of the snapshot header sharing the store and
+// decoded-node cache; the update paths overwrite the fields they change.
+func (t *Snapshot) derive() *Snapshot {
+	cp := *t
+	return &cp
+}
+
+// Insert adds one object to an unclustered snapshot, returning the new
+// snapshot and the NodeIDs it superseded. The receiver is unchanged and
+// stays valid until the retired nodes are freed. Write and read I/O of
+// the update is charged to tr (may be nil).
+func (t *Snapshot) Insert(o Object, tr *storage.Tracker) (*Snapshot, []storage.NodeID, error) {
 	if t.numClusters > 0 {
-		return ErrClustered
+		return nil, nil, ErrClustered
 	}
 	if t.size == 0 {
-		// Rebuild the singleton tree in place.
+		// Replace the empty root with a fresh singleton leaf.
 		leaf := &Node{Leaf: true, Entries: []Entry{objectEntry(&o)}}
-		if err := t.store.Update(t.rootID, encodeNode(leaf)); err != nil {
-			return err
-		}
-		t.invalidateNode(t.rootID)
-		t.rootEntry = summarize(leaf, t.rootID)
-		t.size = 1
-		t.height = 1
-		t.space = o.Loc.Rect()
-		t.maxD = 1
-		return nil
+		next := t.derive()
+		next.rootID = t.store.PutTracked(encodeNode(leaf), tr)
+		next.rootEntry = summarize(leaf, next.rootID)
+		next.size = 1
+		next.height = 1
+		next.space = o.Loc.Rect()
+		next.maxD = 1
+		return next, []storage.NodeID{t.rootID}, nil
 	}
 
 	// Descend by least enlargement, remembering the path.
@@ -59,9 +77,9 @@ func (t *Tree) Insert(o Object) error {
 	var path []step
 	id := t.rootID
 	for {
-		node, err := t.readNodeFresh(id)
+		node, err := t.readNodeFresh(id, tr)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		if node.Leaf {
 			path = append(path, step{id: id, node: node})
@@ -80,13 +98,15 @@ func (t *Tree) Insert(o Object) error {
 		id = node.Entries[best].Child
 	}
 
-	// Insert into the leaf, then walk back up splitting and refreshing
-	// summaries.
+	// Insert into the leaf, then walk back up re-encoding every path
+	// node into a fresh blob (splitting when over-full) and rewiring
+	// each parent to its child's new NodeID.
+	var retired []storage.NodeID
 	leaf := path[len(path)-1]
 	leaf.node.Entries = append(leaf.node.Entries, objectEntry(&o))
-	pendingEntry, splitEntry, err := t.writeNode(leaf.id, leaf.node)
+	pendingEntry, splitEntry, err := t.copyNode(leaf.id, leaf.node, tr, &retired)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	for i := len(path) - 2; i >= 0; i-- {
 		st := path[i]
@@ -94,47 +114,44 @@ func (t *Tree) Insert(o Object) error {
 		if splitEntry != nil {
 			st.node.Entries = append(st.node.Entries, *splitEntry)
 		}
-		pendingEntry, splitEntry, err = t.writeNode(st.id, st.node)
+		pendingEntry, splitEntry, err = t.copyNode(st.id, st.node, tr, &retired)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 	}
+	next := t.derive()
 	if splitEntry != nil {
 		// The root itself split: grow a new root.
 		newRoot := &Node{Leaf: false, Entries: []Entry{pendingEntry, *splitEntry}}
-		t.rootID = t.store.Put(encodeNode(newRoot))
-		t.rootEntry = summarize(newRoot, t.rootID)
-		t.height++
+		next.rootID = t.store.PutTracked(encodeNode(newRoot), tr)
+		next.rootEntry = summarize(newRoot, next.rootID)
+		next.height = t.height + 1
 	} else {
-		t.rootEntry = pendingEntry
+		next.rootID = pendingEntry.Child
+		next.rootEntry = pendingEntry
 	}
-	t.size++
-	t.space = t.space.Extend(o.Loc)
-	if d := t.space.Diagonal(); d > t.maxD {
-		t.maxD = d
+	next.size = t.size + 1
+	next.space = t.space.Extend(o.Loc)
+	if d := next.space.Diagonal(); d > next.maxD {
+		next.maxD = d
 	}
-	return nil
+	return next, retired, nil
 }
 
-// writeNode persists node (splitting it when over-full) under id and
-// returns the refreshed parent entry plus the entry of the split-off
-// sibling, if any.
-func (t *Tree) writeNode(id storage.NodeID, node *Node) (Entry, *Entry, error) {
+// copyNode persists node (splitting it when over-full) into fresh blobs,
+// retiring the superseded id, and returns the refreshed parent entry
+// plus the entry of the split-off sibling, if any.
+func (t *Snapshot) copyNode(old storage.NodeID, node *Node, tr *storage.Tracker, retired *[]storage.NodeID) (Entry, *Entry, error) {
+	*retired = append(*retired, old)
 	if len(node.Entries) <= maxFanout {
-		if err := t.store.Update(id, encodeNode(node)); err != nil {
-			return Entry{}, nil, err
-		}
-		t.invalidateNode(id)
+		id := t.store.PutTracked(encodeNode(node), tr)
 		return summarize(node, id), nil, nil
 	}
 	left, right := splitEntries(node.Entries)
 	node.Entries = left
 	sibling := &Node{Leaf: node.Leaf, Entries: right}
-	if err := t.store.Update(id, encodeNode(node)); err != nil {
-		return Entry{}, nil, err
-	}
-	t.invalidateNode(id)
-	sibID := t.store.Put(encodeNode(sibling))
+	id := t.store.PutTracked(encodeNode(node), tr)
+	sibID := t.store.PutTracked(encodeNode(sibling), tr)
 	se := summarize(sibling, sibID)
 	return summarize(node, id), &se, nil
 }
@@ -201,68 +218,89 @@ func objectEntry(o *Object) Entry {
 	}
 }
 
-// Delete removes the object with the given ID and location from a sealed
-// (unclustered) tree. It reports whether the object was found.
-func (t *Tree) Delete(id int32, loc geom.Point) (bool, error) {
+// Delete removes the object with the given ID and location from an
+// unclustered snapshot. It returns the new snapshot (the receiver when
+// the object was not found), the superseded NodeIDs, and whether the
+// object was found. The receiver is unchanged and stays valid until the
+// retired nodes are freed.
+func (t *Snapshot) Delete(id int32, loc geom.Point, tr *storage.Tracker) (*Snapshot, []storage.NodeID, bool, error) {
 	if t.numClusters > 0 {
-		return false, ErrClustered
+		return nil, nil, false, ErrClustered
 	}
 	if t.size == 0 {
-		return false, nil
+		return t, nil, false, nil
 	}
-	found, _, err := t.deleteRec(t.rootID, id, loc)
+	var retired []storage.NodeID
+	found, rootEntry, rootEmpty, err := t.deleteRec(t.rootID, id, loc, tr, &retired)
 	if err != nil {
-		return false, err
+		return nil, nil, false, err
 	}
 	if !found {
-		return false, nil
+		return t, nil, false, nil
 	}
-	t.size--
-	// Refresh the root summary.
-	rootNode, err := t.readNodeFresh(t.rootID)
-	if err != nil {
-		return false, err
+	next := t.derive()
+	next.size = t.size - 1
+	if rootEmpty {
+		// The last object is gone: the new root is a fresh empty leaf.
+		empty := &Node{Leaf: true}
+		next.rootID = t.store.PutTracked(encodeNode(empty), tr)
+		next.rootEntry = summarize(empty, next.rootID)
+		next.height = 1
+		return next, retired, true, nil
 	}
 	// Collapse a chain of single-child internal roots.
+	rootID := rootEntry.Child
+	rootNode, err := t.readNodeFresh(rootID, tr)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	height := t.height
 	for !rootNode.Leaf && len(rootNode.Entries) == 1 {
-		t.rootID = rootNode.Entries[0].Child
-		t.height--
-		rootNode, err = t.readNodeFresh(t.rootID)
+		retired = append(retired, rootID)
+		rootID = rootNode.Entries[0].Child
+		height--
+		rootNode, err = t.readNodeFresh(rootID, tr)
 		if err != nil {
-			return false, err
+			return nil, nil, false, err
 		}
 	}
-	t.rootEntry = summarize(rootNode, t.rootID)
-	return true, nil
+	next.rootID = rootID
+	next.rootEntry = summarize(rootNode, rootID)
+	next.height = height
+	return next, retired, true, nil
 }
 
-// deleteRec removes the object below node id. It returns whether it was
-// found and whether the node is now empty (so the parent unlinks it).
-func (t *Tree) deleteRec(nid storage.NodeID, id int32, loc geom.Point) (found, empty bool, err error) {
-	node, err := t.readNodeFresh(nid)
+// deleteRec removes the object below node nid, copying every modified
+// node into a fresh blob. It returns whether the object was found, the
+// refreshed parent entry for the copied node (meaningless when the node
+// became empty), and whether the node is now empty (so the parent
+// unlinks it). Nodes on the modified path are appended to retired.
+func (t *Snapshot) deleteRec(nid storage.NodeID, id int32, loc geom.Point, tr *storage.Tracker, retired *[]storage.NodeID) (found bool, newEntry Entry, empty bool, err error) {
+	node, err := t.readNodeFresh(nid, tr)
 	if err != nil {
-		return false, false, err
+		return false, Entry{}, false, err
 	}
 	if node.Leaf {
 		for i := range node.Entries {
 			if node.Entries[i].ObjID == id && node.Entries[i].Loc() == loc {
 				node.Entries = append(node.Entries[:i], node.Entries[i+1:]...)
-				if err := t.store.Update(nid, encodeNode(node)); err != nil {
-					return false, false, err
+				*retired = append(*retired, nid)
+				if len(node.Entries) == 0 {
+					return true, Entry{}, true, nil
 				}
-				t.invalidateNode(nid)
-				return true, len(node.Entries) == 0, nil
+				newID := t.store.PutTracked(encodeNode(node), tr)
+				return true, summarize(node, newID), false, nil
 			}
 		}
-		return false, false, nil
+		return false, Entry{}, false, nil
 	}
 	for i := range node.Entries {
 		if !node.Entries[i].Rect.Contains(loc) {
 			continue
 		}
-		childFound, childEmpty, err := t.deleteRec(node.Entries[i].Child, id, loc)
+		childFound, childEntry, childEmpty, err := t.deleteRec(node.Entries[i].Child, id, loc, tr, retired)
 		if err != nil {
-			return false, false, err
+			return false, Entry{}, false, err
 		}
 		if !childFound {
 			continue
@@ -270,17 +308,14 @@ func (t *Tree) deleteRec(nid storage.NodeID, id int32, loc geom.Point) (found, e
 		if childEmpty {
 			node.Entries = append(node.Entries[:i], node.Entries[i+1:]...)
 		} else {
-			childNode, err := t.readNodeFresh(node.Entries[i].Child)
-			if err != nil {
-				return false, false, err
-			}
-			node.Entries[i] = summarize(childNode, node.Entries[i].Child)
+			node.Entries[i] = childEntry
 		}
-		if err := t.store.Update(nid, encodeNode(node)); err != nil {
-			return false, false, err
+		*retired = append(*retired, nid)
+		if len(node.Entries) == 0 {
+			return true, Entry{}, true, nil
 		}
-		t.invalidateNode(nid)
-		return true, len(node.Entries) == 0, nil
+		newID := t.store.PutTracked(encodeNode(node), tr)
+		return true, summarize(node, newID), false, nil
 	}
-	return false, false, nil
+	return false, Entry{}, false, nil
 }

@@ -10,15 +10,27 @@ import (
 	"rstknn/internal/vector"
 )
 
+// insertAll applies a sequence of COW inserts, rebinding the snapshot
+// and collecting the retired node IDs.
+func insertAll(t *testing.T, tr *Snapshot, objs []Object) (*Snapshot, []storage.NodeID) {
+	t.Helper()
+	var retired []storage.NodeID
+	for _, o := range objs {
+		next, rets, err := tr.Insert(o, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr = next
+		retired = append(retired, rets...)
+	}
+	return tr, retired
+}
+
 func TestInsertIntoSealedTree(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	objs := randObjects(rng, 300, 25)
 	tr := buildIUR(t, objs[:150], false)
-	for _, o := range objs[150:] {
-		if err := tr.Insert(o); err != nil {
-			t.Fatal(err)
-		}
-	}
+	tr, _ = insertAll(t, tr, objs[150:])
 	if tr.Len() != 300 {
 		t.Fatalf("Len = %d", tr.Len())
 	}
@@ -42,6 +54,77 @@ func TestInsertIntoSealedTree(t *testing.T) {
 	}
 }
 
+func TestInsertLeavesReceiverSnapshotIntact(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	objs := randObjects(rng, 80, 15)
+	before := buildIUR(t, objs[:60], false)
+	after, retired, err := before.Insert(objs[60], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(retired) == 0 {
+		t.Fatal("insert retired no nodes")
+	}
+	// The receiver still describes the pre-insert dataset and remains
+	// fully traversable (no retired node has been freed yet).
+	if before.Len() != 60 || after.Len() != 61 {
+		t.Fatalf("Len: before=%d after=%d", before.Len(), after.Len())
+	}
+	if err := before.CheckInvariants(); err != nil {
+		t.Fatalf("receiver snapshot broken after COW insert: %v", err)
+	}
+	if err := after.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	if err := before.Walk(func(n *Node, depth int) error {
+		if n.Leaf {
+			for _, e := range n.Entries {
+				seen[e.ObjID] = true
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen[objs[60].ID] {
+		t.Error("old snapshot sees the new object")
+	}
+	if len(seen) != 60 {
+		t.Errorf("old snapshot walk found %d objects, want 60", len(seen))
+	}
+}
+
+func TestUpdateChargesWriteIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	objs := randObjects(rng, 100, 15)
+	tr := buildIUR(t, objs[:99], false)
+	var tracker storage.Tracker
+	next, retired, err := tr.Insert(objs[99], &tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracker.Writes() == 0 || tracker.PagesWritten() == 0 {
+		t.Errorf("insert charged no write I/O: writes=%d pages=%d",
+			tracker.Writes(), tracker.PagesWritten())
+	}
+	// Path copying writes at least one fresh node per superseded node
+	// (more on splits).
+	if int(tracker.Writes()) < len(retired) {
+		t.Errorf("writes=%d < retired=%d", tracker.Writes(), len(retired))
+	}
+	tracker.Reset()
+	if _, _, ok, err := next.Delete(objs[0].ID, objs[0].Loc, &tracker); err != nil || !ok {
+		t.Fatalf("Delete: ok=%v err=%v", ok, err)
+	}
+	if tracker.Writes() == 0 {
+		t.Error("delete charged no write I/O")
+	}
+	if tracker.Reads() == 0 {
+		t.Error("delete charged no read I/O for its descent")
+	}
+}
+
 func TestInsertGrowsTreeAndSpace(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	tr := buildIUR(t, randObjects(rng, 5, 10), false)
@@ -53,9 +136,11 @@ func TestInsertGrowsTreeAndSpace(t *testing.T) {
 			Loc: geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
 			Doc: vector.New(map[vector.TermID]float64{vector.TermID(i % 20): 1}),
 		}
-		if err := tr.Insert(o); err != nil {
+		next, _, err := tr.Insert(o, nil)
+		if err != nil {
 			t.Fatal(err)
 		}
+		tr = next
 	}
 	if tr.Height() <= h0 {
 		t.Errorf("height did not grow: %d -> %d", h0, tr.Height())
@@ -65,12 +150,17 @@ func TestInsertGrowsTreeAndSpace(t *testing.T) {
 	}
 	// Insert far outside the dataspace: maxD must grow.
 	before := tr.MaxD()
-	if err := tr.Insert(Object{ID: 9999, Loc: geom.Point{X: 5000, Y: 5000},
-		Doc: vector.New(map[vector.TermID]float64{1: 1})}); err != nil {
+	next, _, err := tr.Insert(Object{ID: 9999, Loc: geom.Point{X: 5000, Y: 5000},
+		Doc: vector.New(map[vector.TermID]float64{1: 1})}, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.MaxD() <= before {
-		t.Errorf("maxD did not grow: %g -> %g", before, tr.MaxD())
+	if next.MaxD() <= before {
+		t.Errorf("maxD did not grow: %g -> %g", before, next.MaxD())
+	}
+	// maxD is per snapshot: the receiver keeps its old normalizer.
+	if tr.MaxD() != before {
+		t.Errorf("receiver maxD changed: %g -> %g", before, tr.MaxD())
 	}
 }
 
@@ -78,13 +168,17 @@ func TestInsertIntoEmptyTree(t *testing.T) {
 	tr := buildIUR(t, nil, false)
 	o := Object{ID: 1, Loc: geom.Point{X: 2, Y: 3},
 		Doc: vector.New(map[vector.TermID]float64{4: 1})}
-	if err := tr.Insert(o); err != nil {
+	next, retired, err := tr.Insert(o, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Len() != 1 || tr.RootEntry().Count != 1 {
-		t.Fatalf("Len=%d rootCount=%d", tr.Len(), tr.RootEntry().Count)
+	if len(retired) != 1 {
+		t.Errorf("retired %d nodes, want the old empty root", len(retired))
 	}
-	if err := tr.CheckInvariants(); err != nil {
+	if next.Len() != 1 || next.RootEntry().Count != 1 {
+		t.Fatalf("Len=%d rootCount=%d", next.Len(), next.RootEntry().Count)
+	}
+	if err := next.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -96,13 +190,14 @@ func TestDeleteFromSealedTree(t *testing.T) {
 	// Delete a random half.
 	perm := rng.Perm(len(objs))
 	for _, i := range perm[:125] {
-		ok, err := tr.Delete(objs[i].ID, objs[i].Loc)
+		next, _, ok, err := tr.Delete(objs[i].ID, objs[i].Loc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !ok {
 			t.Fatalf("Delete(%d) not found", objs[i].ID)
 		}
+		tr = next
 	}
 	if tr.Len() != 125 {
 		t.Fatalf("Len = %d", tr.Len())
@@ -136,30 +231,35 @@ func TestDeleteMissingAndEmpty(t *testing.T) {
 	rng := rand.New(rand.NewSource(37))
 	objs := randObjects(rng, 20, 10)
 	tr := buildIUR(t, objs, false)
-	if ok, err := tr.Delete(999, geom.Point{X: 1, Y: 1}); err != nil || ok {
+	if next, retired, ok, err := tr.Delete(999, geom.Point{X: 1, Y: 1}, nil); err != nil || ok {
 		t.Errorf("deleting unknown object: ok=%v err=%v", ok, err)
+	} else if next != tr || len(retired) != 0 {
+		t.Error("not-found delete must return the receiver unchanged")
 	}
 	// Wrong location for a real ID.
-	if ok, err := tr.Delete(objs[0].ID, geom.Point{X: -1e9, Y: -1e9}); err != nil || ok {
+	if _, _, ok, err := tr.Delete(objs[0].ID, geom.Point{X: -1e9, Y: -1e9}, nil); err != nil || ok {
 		t.Errorf("deleting with wrong location: ok=%v err=%v", ok, err)
 	}
 	for _, o := range objs {
-		if ok, err := tr.Delete(o.ID, o.Loc); err != nil || !ok {
+		next, _, ok, err := tr.Delete(o.ID, o.Loc, nil)
+		if err != nil || !ok {
 			t.Fatalf("Delete(%d): ok=%v err=%v", o.ID, ok, err)
 		}
+		tr = next
 	}
 	if tr.Len() != 0 {
 		t.Errorf("Len = %d after deleting all", tr.Len())
 	}
-	if ok, _ := tr.Delete(objs[0].ID, objs[0].Loc); ok {
+	if _, _, ok, _ := tr.Delete(objs[0].ID, objs[0].Loc, nil); ok {
 		t.Error("delete from empty tree should find nothing")
 	}
 	// Tree remains usable.
-	if err := tr.Insert(objs[0]); err != nil {
+	next, _, err := tr.Insert(objs[0], nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Len() != 1 {
-		t.Errorf("reinsert failed: Len = %d", tr.Len())
+	if next.Len() != 1 {
+		t.Errorf("reinsert failed: Len = %d", next.Len())
 	}
 }
 
@@ -177,10 +277,10 @@ func TestUpdatesRejectedOnClusteredTrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Insert(objs[0]); err != ErrClustered {
+	if _, _, err := tr.Insert(objs[0], nil); err != ErrClustered {
 		t.Errorf("Insert on CIUR: %v", err)
 	}
-	if _, err := tr.Delete(objs[0].ID, objs[0].Loc); err != ErrClustered {
+	if _, _, _, err := tr.Delete(objs[0].ID, objs[0].Loc, nil); err != ErrClustered {
 		t.Errorf("Delete on CIUR: %v", err)
 	}
 }
@@ -188,6 +288,7 @@ func TestUpdatesRejectedOnClusteredTrees(t *testing.T) {
 func TestInterleavedUpdatesKeepInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	tr := buildIUR(t, nil, false)
+	rec := storage.NewReclaimer(tr.Store())
 	live := map[int32]Object{}
 	next := int32(0)
 	for step := 0; step < 1500; step++ {
@@ -198,19 +299,24 @@ func TestInterleavedUpdatesKeepInvariants(t *testing.T) {
 				Doc: vector.New(map[vector.TermID]float64{vector.TermID(rng.Intn(15)): 1 + rng.Float64()}),
 			}
 			next++
-			if err := tr.Insert(o); err != nil {
+			nt, retired, err := tr.Insert(o, nil)
+			if err != nil {
 				t.Fatal(err)
 			}
+			tr = nt
+			rec.Retire(retired)
 			live[o.ID] = o
 		} else {
 			for id, o := range live {
-				ok, err := tr.Delete(o.ID, o.Loc)
+				nt, retired, ok, err := tr.Delete(o.ID, o.Loc, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if !ok {
 					t.Fatalf("step %d: live object %d not found", step, id)
 				}
+				tr = nt
+				rec.Retire(retired)
 				delete(live, id)
 				break
 			}
@@ -221,5 +327,15 @@ func TestInterleavedUpdatesKeepInvariants(t *testing.T) {
 	}
 	if err := tr.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+	// With no pinned readers every retired node must have been freed
+	// and live usage stays in step with the live object count: the
+	// superseded-node leak is gone.
+	if st := rec.Stats(); st.Pending != 0 || st.Freed == 0 {
+		t.Errorf("reclaimer: pending=%d freed=%d", st.Pending, st.Freed)
+	}
+	store := tr.Store()
+	if lb, tb := store.LiveBytes(), store.TotalBytes(); lb != tb {
+		t.Errorf("LiveBytes=%d != TotalBytes=%d with all garbage freed", lb, tb)
 	}
 }

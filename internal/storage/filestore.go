@@ -111,23 +111,67 @@ func (fs *FileStore) Len() int {
 	return len(fs.offsets)
 }
 
-// Put appends a new blob and returns its NodeID.
-func (fs *FileStore) Put(data []byte) NodeID {
+// Put appends a new blob and returns its NodeID, reusing a freed slot
+// when one is available.
+func (fs *FileStore) Put(data []byte) NodeID { return fs.PutTracked(data, nil) }
+
+// PutTracked is Put with per-writer attribution: the write I/O lands on
+// the global counters and, when tr is non-nil, on the caller's tracker.
+func (fs *FileStore) PutTracked(data []byte, tr *Tracker) NodeID {
 	fs.mu.Lock()
-	id := NodeID(len(fs.offsets))
+	id, reused := fs.takeFreeSlot()
+	if !reused {
+		id = NodeID(len(fs.offsets))
+	}
 	if err := fs.append(id, data); err != nil {
 		// The in-memory Store's Put cannot fail; keep the signature and
 		// surface the failure at the next read instead.
-		fs.offsets = append(fs.offsets, recordRef{off: -1})
+		if !reused {
+			fs.offsets = append(fs.offsets, recordRef{off: -1})
+			fs.ensureSlotState(len(fs.offsets))
+		} else {
+			fs.offsets[id] = recordRef{off: -1}
+		}
 		fs.mu.Unlock()
 		return id
 	}
+	if !reused {
+		fs.ensureSlotState(len(fs.offsets))
+	}
 	fs.mu.Unlock()
-	fs.stats.chargeWrite(int64(fs.pagesFor(len(data))))
+	fs.stats.chargeWrite(int64(fs.pagesFor(len(data))), tr)
 	if fs.cache != nil {
 		fs.cache.put(id, cloneBytes(data), fs.pagesFor(len(data)))
 	}
 	return id
+}
+
+// Retire marks the blob as superseded garbage: still readable for
+// pinned snapshots, excluded from LivePages/LiveBytes.
+func (fs *FileStore) Retire(id NodeID) {
+	fs.mu.Lock()
+	fs.markRetired(id, len(fs.offsets))
+	fs.mu.Unlock()
+}
+
+// Free reclaims a slot: reads return ErrFreed and the ID is recycled by
+// a later Put. The superseded record stays in the log until Compact
+// rewrites it as an empty tombstone (ID density is required on reopen).
+func (fs *FileStore) Free(id NodeID) error {
+	fs.mu.Lock()
+	if int(id) < 0 || int(id) >= len(fs.offsets) {
+		fs.mu.Unlock()
+		return fmt.Errorf("storage: free of unknown node %d", id)
+	}
+	if !fs.markFreed(id, len(fs.offsets)) {
+		fs.mu.Unlock()
+		return fmt.Errorf("storage: double free of node %d: %w", id, ErrFreed)
+	}
+	fs.mu.Unlock()
+	if fs.cache != nil {
+		fs.cache.remove(id)
+	}
+	return nil
 }
 
 // Update replaces the blob stored under id by appending a fresh record.
@@ -136,6 +180,10 @@ func (fs *FileStore) Update(id NodeID, data []byte) error {
 	if int(id) < 0 || int(id) >= len(fs.offsets) {
 		fs.mu.Unlock()
 		return fmt.Errorf("storage: update of unknown node %d", id)
+	}
+	if fs.slotFreed(id) {
+		fs.mu.Unlock()
+		return fmt.Errorf("storage: update of node %d: %w", id, ErrFreed)
 	}
 	// append overwrites fs.offsets[id] only on success, so a failed
 	// update leaves the previous record visible.
@@ -146,7 +194,7 @@ func (fs *FileStore) Update(id NodeID, data []byte) error {
 		return err
 	}
 	fs.mu.Unlock()
-	fs.stats.chargeWrite(int64(fs.pagesFor(len(data))))
+	fs.stats.chargeWrite(int64(fs.pagesFor(len(data))), nil)
 	if fs.cache != nil {
 		fs.cache.put(id, cloneBytes(data), fs.pagesFor(len(data)))
 	}
@@ -192,6 +240,10 @@ func (fs *FileStore) GetTracked(id NodeID, tr *Tracker) ([]byte, error) {
 		fs.mu.RUnlock()
 		return nil, fmt.Errorf("storage: read of unknown node %d", id)
 	}
+	if fs.slotFreed(id) {
+		fs.mu.RUnlock()
+		return nil, fmt.Errorf("storage: read of node %d: %w", id, ErrFreed)
+	}
 	ref := fs.offsets[id]
 	fs.mu.RUnlock()
 	if fs.cache != nil {
@@ -214,24 +266,59 @@ func (fs *FileStore) GetTracked(id NodeID, tr *Tracker) ([]byte, error) {
 	return buf, nil
 }
 
-// TotalPages returns the live page footprint (superseded records are not
-// counted; see Compact).
+// TotalPages returns the page footprint of every non-freed blob
+// (log records superseded by Update are not counted; see Compact).
 func (fs *FileStore) TotalPages() int64 {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	var n int64
-	for _, r := range fs.offsets {
+	for id, r := range fs.offsets {
+		if fs.slotFreed(NodeID(id)) {
+			continue
+		}
 		n += int64(fs.pagesFor(int(r.size)))
 	}
 	return n
 }
 
-// TotalBytes returns the live payload bytes.
+// TotalBytes returns the payload bytes of every non-freed blob.
 func (fs *FileStore) TotalBytes() int64 {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	var n int64
-	for _, r := range fs.offsets {
+	for id, r := range fs.offsets {
+		if fs.slotFreed(NodeID(id)) {
+			continue
+		}
+		n += int64(r.size)
+	}
+	return n
+}
+
+// LivePages returns the page footprint of the blobs the current index
+// version references (TotalPages minus retired garbage).
+func (fs *FileStore) LivePages() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for id, r := range fs.offsets {
+		if fs.slotFreed(NodeID(id)) || fs.slotRetired(NodeID(id)) {
+			continue
+		}
+		n += int64(fs.pagesFor(int(r.size)))
+	}
+	return n
+}
+
+// LiveBytes returns the payload bytes of the live blobs.
+func (fs *FileStore) LiveBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for id, r := range fs.offsets {
+		if fs.slotFreed(NodeID(id)) || fs.slotRetired(NodeID(id)) {
+			continue
+		}
 		n += int64(r.size)
 	}
 	return n
@@ -250,12 +337,18 @@ func (fs *FileStore) Compact() error {
 	newOffsets := make([]recordRef, len(fs.offsets))
 	var off int64
 	for id, ref := range fs.offsets {
-		buf := make([]byte, ref.size)
-		if _, err := fs.f.ReadAt(buf, ref.off); err != nil {
-			tmp.Close()        //rstknn:allow errlost best-effort cleanup; the read error is returned
-			os.Remove(tmpPath) //rstknn:allow errlost best-effort cleanup; the read error is returned
-			return err
+		var buf []byte
+		if !fs.slotFreed(NodeID(id)) {
+			buf = make([]byte, ref.size)
+			if _, err := fs.f.ReadAt(buf, ref.off); err != nil {
+				tmp.Close()        //rstknn:allow errlost best-effort cleanup; the read error is returned
+				os.Remove(tmpPath) //rstknn:allow errlost best-effort cleanup; the read error is returned
+				return err
+			}
 		}
+		// Freed slots compact to empty tombstone records: reopening
+		// requires every ID to be present, and a zero payload keeps the
+		// slot's accounting at zero until Put recycles it.
 		var header [fileRecordHeader]byte
 		binary.LittleEndian.PutUint32(header[0:], uint32(id))
 		binary.LittleEndian.PutUint32(header[4:], uint32(len(buf)))
@@ -269,8 +362,8 @@ func (fs *FileStore) Compact() error {
 			os.Remove(tmpPath) //rstknn:allow errlost best-effort cleanup; the write error is returned
 			return err
 		}
-		newOffsets[id] = recordRef{off: off + fileRecordHeader, size: ref.size}
-		off += fileRecordHeader + int64(ref.size)
+		newOffsets[id] = recordRef{off: off + fileRecordHeader, size: int32(len(buf))}
+		off += fileRecordHeader + int64(len(buf))
 	}
 	if err := tmp.Close(); err != nil {
 		return err

@@ -16,6 +16,7 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -24,11 +25,19 @@ import (
 // DefaultPageSize matches the 4 KiB page used throughout the literature.
 const DefaultPageSize = 4096
 
-// NodeID identifies a stored blob. IDs are dense, starting at 0.
+// NodeID identifies a stored blob. IDs are dense, starting at 0. Freed
+// IDs are recycled by later Puts, so a NodeID names a slot, not a
+// version: holding an ID across a Free is only safe under the epoch
+// protocol (see Reclaimer).
 type NodeID int32
 
 // InvalidNode is the sentinel for "no node".
 const InvalidNode NodeID = -1
+
+// ErrFreed is wrapped by reads of a slot that was freed and not yet
+// reused. Maintenance scans (persistence, compaction) detect it with
+// errors.Is to emit tombstones instead of failing.
+var ErrFreed = errors.New("storage: node freed")
 
 // Stats aggregates the simulated I/O counters of a Store.
 type Stats struct {
@@ -74,9 +83,11 @@ func (s Stats) Sub(o Stats) Stats {
 // zero value is ready to use. All methods are safe for concurrent use and
 // nil-receiver safe (a nil tracker charges nothing).
 type Tracker struct {
-	reads     atomic.Int64
-	pagesRead atomic.Int64
-	cacheHits atomic.Int64
+	reads        atomic.Int64
+	pagesRead    atomic.Int64
+	cacheHits    atomic.Int64
+	writes       atomic.Int64
+	pagesWritten atomic.Int64
 }
 
 // ChargeRead records one read transferring the given number of pages.
@@ -86,6 +97,17 @@ func (t *Tracker) ChargeRead(pages int64) {
 	}
 	t.reads.Add(1)
 	t.pagesRead.Add(pages)
+}
+
+// ChargeWrite records one blob write transferring the given number of
+// pages — the mirror of ChargeRead for the update paths, so an insert or
+// delete can report exactly the write I/O it caused.
+func (t *Tracker) ChargeWrite(pages int64) {
+	if t == nil {
+		return
+	}
+	t.writes.Add(1)
+	t.pagesWritten.Add(pages)
 }
 
 // ChargeCacheHit records one read served from a cache.
@@ -120,13 +142,34 @@ func (t *Tracker) CacheHits() int64 {
 	return t.cacheHits.Load()
 }
 
-// Stats returns the tracker's counters as a Stats snapshot (write
-// counters are zero: trackers attribute query-time reads only).
+// Writes returns the number of tracked blob writes.
+func (t *Tracker) Writes() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.writes.Load()
+}
+
+// PagesWritten returns the pages transferred by the tracked writes.
+func (t *Tracker) PagesWritten() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.pagesWritten.Load()
+}
+
+// Stats returns the tracker's counters as a Stats snapshot.
 func (t *Tracker) Stats() Stats {
 	if t == nil {
 		return Stats{}
 	}
-	return Stats{Reads: t.Reads(), PagesRead: t.PagesRead(), CacheHits: t.CacheHits()}
+	return Stats{
+		Reads:        t.Reads(),
+		PagesRead:    t.PagesRead(),
+		CacheHits:    t.CacheHits(),
+		Writes:       t.Writes(),
+		PagesWritten: t.PagesWritten(),
+	}
 }
 
 // Reset zeroes the tracker so it can be reused for another query.
@@ -137,6 +180,8 @@ func (t *Tracker) Reset() {
 	t.reads.Store(0)
 	t.pagesRead.Store(0)
 	t.cacheHits.Store(0)
+	t.writes.Store(0)
+	t.pagesWritten.Store(0)
 }
 
 // counters are the store-global I/O totals, atomics so concurrent readers
@@ -182,19 +227,28 @@ func (c *counters) chargeHit(t *Tracker) {
 	t.ChargeCacheHit()
 }
 
-func (c *counters) chargeWrite(pages int64) {
+// chargeWrite records a blob write on the global counters and the
+// tracker (if any).
+func (c *counters) chargeWrite(pages int64, t *Tracker) {
 	c.writes.Add(1)
 	c.pagesWritten.Add(pages)
+	t.ChargeWrite(pages)
 }
 
 // Blobs is the storage abstraction the index layers build on: a blob
 // store with simulated-I/O accounting. Two implementations exist: the
 // in-memory Store and the persistent FileStore. Both are safe for
-// concurrent readers; writes (Put/Update) must not race with each other
-// but may run against a quiescent store only.
+// concurrent readers; writes (Put/Update/Retire/Free) must be issued by
+// one writer at a time, but may run concurrently with readers — the
+// copy-on-write update path never touches a blob a published snapshot
+// references.
 type Blobs interface {
-	// Put stores a new blob and returns its NodeID.
+	// Put stores a new blob and returns its NodeID, reusing a freed slot
+	// when one is available.
 	Put(data []byte) NodeID
+	// PutTracked is Put with per-writer attribution: the write I/O is
+	// charged to tr (when non-nil) in addition to the global counters.
+	PutTracked(data []byte, tr *Tracker) NodeID
 	// Update replaces the blob stored under id.
 	Update(id NodeID, data []byte) error
 	// Get returns the blob stored under id, charging simulated I/O
@@ -203,6 +257,13 @@ type Blobs interface {
 	// GetTracked is Get with per-query attribution: the simulated I/O is
 	// charged to tr (when non-nil) in addition to the global counters.
 	GetTracked(id NodeID, tr *Tracker) ([]byte, error)
+	// Retire marks the blob as superseded garbage: it stays readable (a
+	// pinned snapshot may still reference it) but no longer counts as
+	// live. Free reclaims it once no reader can hold it.
+	Retire(id NodeID)
+	// Free reclaims a slot: the blob becomes unreadable (reads return
+	// ErrFreed) and the ID is recycled by a later Put.
+	Free(id NodeID) error
 	// Stats returns a snapshot of the I/O counters.
 	Stats() Stats
 	// ResetStats zeroes the I/O counters.
@@ -211,21 +272,92 @@ type Blobs interface {
 	DropCache()
 	// PageSize returns the simulated page size in bytes.
 	PageSize() int
-	// Len returns the number of stored blobs.
+	// Len returns the number of slots (live, retired, and freed).
 	Len() int
-	// TotalPages returns the live page footprint.
+	// TotalPages returns the page footprint of every non-freed blob,
+	// including retired garbage awaiting reclamation.
 	TotalPages() int64
-	// TotalBytes returns the live payload bytes.
+	// TotalBytes returns the payload bytes of every non-freed blob.
 	TotalBytes() int64
+	// LivePages returns the page footprint of the blobs the current
+	// index version references (TotalPages minus retired garbage).
+	LivePages() int64
+	// LiveBytes returns the payload bytes of those live blobs.
+	LiveBytes() int64
 }
 
 // Store is a simulated disk. The zero value is not usable; call NewStore.
 type Store struct {
-	mu       sync.RWMutex // guards blobs (Store) / offsets+file (FileStore)
+	mu       sync.RWMutex // guards blobs+slot state (Store) / offsets+file (FileStore)
 	pageSize int
 	blobs    [][]byte
 	stats    counters
 	cache    *pool // nil when no buffer pool is configured
+
+	// Slot lifecycle, shared with FileStore through embedding: a slot is
+	// live, retired (superseded garbage still readable by pinned
+	// snapshots), or freed (reclaimed, ID queued for reuse).
+	retired []bool
+	freed   []bool
+	freeIDs []NodeID
+}
+
+// ensureSlotState grows the slot-state arrays to cover n slots. Caller
+// holds the lock.
+func (s *Store) ensureSlotState(n int) {
+	for len(s.retired) < n {
+		s.retired = append(s.retired, false)
+		s.freed = append(s.freed, false)
+	}
+}
+
+// takeFreeSlot pops a recycled NodeID, if any. Caller holds the lock.
+func (s *Store) takeFreeSlot() (NodeID, bool) {
+	if len(s.freeIDs) == 0 {
+		return InvalidNode, false
+	}
+	id := s.freeIDs[len(s.freeIDs)-1]
+	s.freeIDs = s.freeIDs[:len(s.freeIDs)-1]
+	s.retired[id] = false
+	s.freed[id] = false
+	return id, true
+}
+
+// markRetired flags slot id as garbage. Caller holds the lock.
+func (s *Store) markRetired(id NodeID, n int) {
+	if int(id) < 0 || int(id) >= n {
+		return
+	}
+	s.ensureSlotState(n)
+	if !s.freed[id] {
+		s.retired[id] = true
+	}
+}
+
+// markFreed transitions slot id to freed and queues it for reuse.
+// Caller holds the lock; returns false when already freed or unknown.
+func (s *Store) markFreed(id NodeID, n int) bool {
+	if int(id) < 0 || int(id) >= n {
+		return false
+	}
+	s.ensureSlotState(n)
+	if s.freed[id] {
+		return false
+	}
+	s.freed[id] = true
+	s.retired[id] = false
+	s.freeIDs = append(s.freeIDs, id)
+	return true
+}
+
+// slotFreed reports whether id is freed. Caller holds the lock.
+func (s *Store) slotFreed(id NodeID) bool {
+	return int(id) < len(s.freed) && s.freed[id]
+}
+
+// slotRetired reports whether id is retired. Caller holds the lock.
+func (s *Store) slotRetired(id NodeID) bool {
+	return int(id) < len(s.retired) && s.retired[id]
 }
 
 // Option configures a Store.
@@ -271,24 +403,60 @@ func (s *Store) Len() int {
 	return len(s.blobs)
 }
 
-// TotalPages returns the total page footprint of all stored blobs — the
-// simulated index size on disk.
+// TotalPages returns the total page footprint of all non-freed blobs —
+// the simulated index size on disk, including retired garbage that
+// awaits reclamation.
 func (s *Store) TotalPages() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var n int64
-	for _, b := range s.blobs {
+	for id, b := range s.blobs {
+		if s.slotFreed(NodeID(id)) {
+			continue
+		}
 		n += int64(s.pagesFor(len(b)))
 	}
 	return n
 }
 
-// TotalBytes returns the summed blob sizes.
+// TotalBytes returns the summed sizes of all non-freed blobs.
 func (s *Store) TotalBytes() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var n int64
-	for _, b := range s.blobs {
+	for id, b := range s.blobs {
+		if s.slotFreed(NodeID(id)) {
+			continue
+		}
+		n += int64(len(b))
+	}
+	return n
+}
+
+// LivePages returns the page footprint of the blobs the current index
+// version references: TotalPages minus retired-but-unreclaimed garbage.
+func (s *Store) LivePages() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for id, b := range s.blobs {
+		if s.slotFreed(NodeID(id)) || s.slotRetired(NodeID(id)) {
+			continue
+		}
+		n += int64(s.pagesFor(len(b)))
+	}
+	return n
+}
+
+// LiveBytes returns the payload bytes of the live blobs.
+func (s *Store) LiveBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for id, b := range s.blobs {
+		if s.slotFreed(NodeID(id)) || s.slotRetired(NodeID(id)) {
+			continue
+		}
 		n += int64(len(b))
 	}
 	return n
@@ -301,18 +469,58 @@ func (s *Store) pagesFor(size int) int {
 	return (size + s.pageSize - 1) / s.pageSize
 }
 
-// Put stores a new blob and returns its NodeID. The blob is copied.
-func (s *Store) Put(data []byte) NodeID {
+// Put stores a new blob and returns its NodeID, reusing a freed slot
+// when one is available. The blob is copied.
+func (s *Store) Put(data []byte) NodeID { return s.PutTracked(data, nil) }
+
+// PutTracked is Put with per-writer attribution: the write I/O lands on
+// the global counters and, when tr is non-nil, on the caller's tracker.
+func (s *Store) PutTracked(data []byte, tr *Tracker) NodeID {
 	s.mu.Lock()
-	id := NodeID(len(s.blobs))
-	s.blobs = append(s.blobs, cloneBytes(data))
+	id, reused := s.takeFreeSlot()
+	if reused {
+		s.blobs[id] = cloneBytes(data)
+	} else {
+		id = NodeID(len(s.blobs))
+		s.blobs = append(s.blobs, cloneBytes(data))
+		s.ensureSlotState(len(s.blobs))
+	}
 	b := s.blobs[id]
 	s.mu.Unlock()
-	s.stats.chargeWrite(int64(s.pagesFor(len(data))))
+	s.stats.chargeWrite(int64(s.pagesFor(len(data))), tr)
 	if s.cache != nil {
 		s.cache.put(id, b, s.pagesFor(len(data)))
 	}
 	return id
+}
+
+// Retire marks the blob as superseded garbage: still readable for
+// pinned snapshots, excluded from LivePages/LiveBytes. Retiring a freed
+// or unknown slot is a no-op.
+func (s *Store) Retire(id NodeID) {
+	s.mu.Lock()
+	s.markRetired(id, len(s.blobs))
+	s.mu.Unlock()
+}
+
+// Free reclaims a slot: the payload is dropped, reads return ErrFreed,
+// and the ID is recycled by a later Put. Freeing twice is an error.
+func (s *Store) Free(id NodeID) error {
+	s.mu.Lock()
+	if int(id) < 0 || int(id) >= len(s.blobs) {
+		s.mu.Unlock()
+		return fmt.Errorf("storage: free of unknown node %d", id)
+	}
+	if !s.markFreed(id, len(s.blobs)) {
+		s.mu.Unlock()
+		return fmt.Errorf("storage: double free of node %d: %w", id, ErrFreed)
+	}
+	s.blobs[id] = nil
+	s.mu.Unlock()
+	if s.cache != nil {
+		s.cache.remove(id)
+	}
+	return nil
 }
 
 // Update replaces the blob stored under id. The blob is copied.
@@ -322,10 +530,14 @@ func (s *Store) Update(id NodeID, data []byte) error {
 		s.mu.Unlock()
 		return fmt.Errorf("storage: update of unknown node %d", id)
 	}
+	if s.slotFreed(id) {
+		s.mu.Unlock()
+		return fmt.Errorf("storage: update of node %d: %w", id, ErrFreed)
+	}
 	s.blobs[id] = cloneBytes(data)
 	b := s.blobs[id]
 	s.mu.Unlock()
-	s.stats.chargeWrite(int64(s.pagesFor(len(data))))
+	s.stats.chargeWrite(int64(s.pagesFor(len(data))), nil)
 	if s.cache != nil {
 		s.cache.put(id, b, s.pagesFor(len(data)))
 	}
@@ -343,6 +555,10 @@ func (s *Store) GetTracked(id NodeID, tr *Tracker) ([]byte, error) {
 	if int(id) < 0 || int(id) >= len(s.blobs) {
 		s.mu.RUnlock()
 		return nil, fmt.Errorf("storage: read of unknown node %d", id)
+	}
+	if s.slotFreed(id) {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("storage: read of node %d: %w", id, ErrFreed)
 	}
 	b := s.blobs[id]
 	s.mu.RUnlock()
@@ -441,6 +657,15 @@ func (p *pool) put(id NodeID, data []byte, pages int) {
 	sh.mu.Unlock()
 }
 
+// remove drops one blob from the pool (after its slot was freed), so a
+// recycled NodeID can never serve the previous occupant's bytes.
+func (p *pool) remove(id NodeID) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	sh.lru.remove(id)
+	sh.mu.Unlock()
+}
+
 func (p *pool) clear() {
 	for i := range p.shards {
 		sh := &p.shards[i]
@@ -513,6 +738,17 @@ func (c *lru) evict() {
 		delete(c.index, ent.id)
 		c.used -= ent.pages
 	}
+}
+
+func (c *lru) remove(id NodeID) {
+	el, ok := c.index[id]
+	if !ok {
+		return
+	}
+	ent := el.Value.(*lruEntry)
+	c.order.Remove(el)
+	delete(c.index, id)
+	c.used -= ent.pages
 }
 
 func (c *lru) clear() {

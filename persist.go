@@ -2,6 +2,7 @@ package rstknn
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -36,15 +37,26 @@ type persistMeta struct {
 }
 
 // Save persists the engine into dir (created if missing). The directory
-// is self-contained and can be reopened with Open.
+// is self-contained and can be reopened with Open. Save serializes with
+// the write path and pins the snapshot it persists, so it is safe with
+// queries and updates in flight.
 func (e *Engine) Save(dir string) error {
+	// Hold the writer lock: the store must not grow (or recycle slots)
+	// while the blob copy walks it.
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	st, release := e.pin()
+	defer release()
+
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	// 1. Tree header onto the live store, so the blob copy includes it.
-	headerID := e.tree.Save()
+	headerID := st.tree.Save()
 
-	// 2. Node blobs into a fresh file store, preserving IDs.
+	// 2. Node blobs into a fresh file store, preserving IDs. Freed slots
+	// become empty tombstone records: unreachable from the header, but
+	// they keep the IDs dense so the copy stays slot-for-slot.
 	fs, err := storage.CreateFileStore(filepath.Join(dir, "index.log"),
 		storage.WithPageSize(e.opt.PageSize))
 	if err != nil {
@@ -52,9 +64,11 @@ func (e *Engine) Save(dir string) error {
 	}
 	n := e.store.Len()
 	for id := 0; id < n; id++ {
-		//rstknn:allow trackedio maintenance copy outside any query; stats are reset below
+		//rstknn:allow trackedio,locksafe maintenance copy outside any query, serialized on writeMu; stats are reset below
 		blob, err := e.store.Get(storage.NodeID(id))
-		if err != nil {
+		if errors.Is(err, storage.ErrFreed) {
+			blob = nil
+		} else if err != nil {
 			fs.Close()
 			return fmt.Errorf("rstknn: copying node %d: %w", id, err)
 		}
@@ -82,7 +96,7 @@ func (e *Engine) Save(dir string) error {
 	}
 
 	// 4. Objects with their weighted vectors.
-	if err := dataset.SaveFile(filepath.Join(dir, "objects.csv"), e.objects, e.vocab); err != nil {
+	if err := dataset.SaveFile(filepath.Join(dir, "objects.csv"), st.objects, e.vocab); err != nil {
 		return err
 	}
 
@@ -91,7 +105,7 @@ func (e *Engine) Save(dir string) error {
 		Version:   persistVersion,
 		Options:   e.opt,
 		HeaderID:  int32(headerID),
-		Objects:   len(e.objects),
+		Objects:   len(st.objects),
 		BuildTime: e.build,
 	}
 	buf, err := json.MarshalIndent(meta, "", "  ")
@@ -150,6 +164,11 @@ func Open(dir string) (*Engine, error) {
 		fs.Close()
 		return nil, err
 	}
+	// The header blob is only needed to decode the snapshot; free its
+	// slot so the next Save's fresh header recycles it instead of
+	// leaking one slot per save/open cycle.
+	fs.Retire(storage.NodeID(meta.HeaderID))
+	_ = fs.Free(storage.NodeID(meta.HeaderID)) //rstknn:allow errlost first free of a just-retired slot cannot fail
 	if meta.Options.NodeCache > 0 {
 		tree.SetNodeCache(meta.Options.NodeCache)
 	}
@@ -170,15 +189,16 @@ func Open(dir string) (*Engine, error) {
 		scheme:  scheme,
 		measure: measure,
 		vocab:   vocab,
-		objects: objs,
-		byID:    make(map[int32]int, len(objs)),
-		tree:    tree,
 		store:   fs,
 		build:   meta.BuildTime,
 	}
+	byID := make(map[int32]int, len(objs))
 	for i := range objs {
-		e.byID[objs[i].ID] = i
+		byID[objs[i].ID] = i
 	}
+	e.rec = storage.NewReclaimer(fs)
+	e.rec.SetOnFree(tree.InvalidateNode)
+	e.state.Store(&engineState{tree: tree, objects: objs, byID: byID})
 	return e, nil
 }
 

@@ -1,0 +1,299 @@
+package rstknn
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rstknn/internal/baseline"
+	"rstknn/internal/core"
+	"rstknn/internal/geom"
+	"rstknn/internal/iurtree"
+	"rstknn/internal/storage"
+	"rstknn/internal/vector"
+)
+
+// Result is the outcome of one reverse query.
+type Result struct {
+	// IDs lists the objects that would rank the query within their
+	// top-k, ascending.
+	IDs []int32
+	// Stats describes the work performed.
+	Stats QueryStats
+}
+
+// QueryStats describes the cost of one query under the simulated I/O
+// model (one node read = ceil(nodeBytes/pageSize) page accesses). The
+// I/O counters come from the query's own execution tracker — never from
+// deltas of store-global counters — so they are exact even when many
+// queries run concurrently.
+type QueryStats struct {
+	Duration      time.Duration
+	NodesRead     int
+	PageAccesses  int64
+	CacheHits     int64
+	ExactSims     int64
+	BoundEvals    int64
+	GroupPruned   int
+	GroupReported int
+	Candidates    int
+	Refinements   int
+}
+
+// validateQuery rejects the inputs that would otherwise give undefined
+// behavior: non-positive k and NaN/Inf coordinates.
+func validateQuery(x, y float64, k int) error {
+	if k <= 0 {
+		return fmt.Errorf("rstknn: k must be positive, got %d", k)
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return fmt.Errorf("rstknn: query location (%g, %g) must be finite", x, y)
+	}
+	return nil
+}
+
+// Query answers the RSTkNN query for a prospective object at (x, y) with
+// the given text: which indexed objects would rank it within their top-k?
+func (e *Engine) Query(x, y float64, text string, k int) (*Result, error) {
+	return e.QueryCtx(context.Background(), x, y, text, k)
+}
+
+// QueryCtx is Query with cancellation: the context is checked before
+// every node read and the query aborts with ctx.Err() once it is done.
+func (e *Engine) QueryCtx(ctx context.Context, x, y float64, text string, k int) (*Result, error) {
+	return e.QueryVectorCtx(ctx, x, y, e.vectorize(text), k)
+}
+
+// QueryVector is Query with a pre-built term vector (advanced use: the
+// vector must be weighted against this engine's vocabulary).
+func (e *Engine) QueryVector(x, y float64, doc vector.Vector, k int) (*Result, error) {
+	return e.QueryVectorCtx(context.Background(), x, y, doc, k)
+}
+
+// QueryVectorCtx is QueryVector with cancellation.
+func (e *Engine) QueryVectorCtx(ctx context.Context, x, y float64, doc vector.Vector, k int) (*Result, error) {
+	if err := validateQuery(x, y, k); err != nil {
+		return nil, err
+	}
+	st, release := e.pin()
+	defer release()
+	return e.queryVector(ctx, st, x, y, doc, k)
+}
+
+// queryVector runs one reverse query against an already-pinned state.
+func (e *Engine) queryVector(ctx context.Context, st *engineState, x, y float64, doc vector.Vector, k int) (*Result, error) {
+	strategy := core.RefineByMaxUpper
+	if e.opt.EntropyRefinement {
+		strategy = core.RefineByEntropy
+	}
+	// The tracker is this query's execution context: all simulated I/O
+	// of this query — and only this query — lands on it.
+	var tracker storage.Tracker
+	start := time.Now()
+	out, err := core.RSTkNN(st.tree, core.Query{Loc: geom.Point{X: x, Y: y}, Doc: doc}, core.Options{
+		K:           k,
+		Alpha:       e.opt.Alpha,
+		Sim:         e.measure,
+		Strategy:    strategy,
+		GroupRefine: e.opt.GroupRefine,
+		Workers:     e.opt.Workers,
+		Ctx:         ctx,
+		Tracker:     &tracker,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		IDs: out.Results,
+		Stats: QueryStats{
+			Duration:      time.Since(start),
+			NodesRead:     out.Metrics.NodesRead,
+			PageAccesses:  tracker.PagesRead(),
+			CacheHits:     tracker.CacheHits(),
+			ExactSims:     out.Metrics.ExactSims,
+			BoundEvals:    out.Metrics.BoundEvals,
+			GroupPruned:   out.Metrics.GroupPruned,
+			GroupReported: out.Metrics.GroupReported,
+			Candidates:    out.Metrics.Candidates,
+			Refinements:   out.Metrics.Refinements,
+		},
+	}, nil
+}
+
+// QueryByID answers the reverse query for an object already in the
+// index: which *other* indexed objects would rank object id within their
+// top-k? The object itself (which trivially ranks the query, similarity
+// 1) is excluded from the result.
+func (e *Engine) QueryByID(id int32, k int) (*Result, error) {
+	return e.QueryByIDCtx(context.Background(), id, k)
+}
+
+// QueryByIDCtx is QueryByID with cancellation.
+func (e *Engine) QueryByIDCtx(ctx context.Context, id int32, k int) (*Result, error) {
+	st, release := e.pin()
+	defer release()
+	i, ok := st.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("rstknn: unknown object ID %d", id)
+	}
+	o := st.objects[i]
+	if err := validateQuery(o.Loc.X, o.Loc.Y, k); err != nil {
+		return nil, err
+	}
+	res, err := e.queryVector(ctx, st, o.Loc.X, o.Loc.Y, o.Doc, k)
+	if err != nil {
+		return nil, err
+	}
+	filtered := res.IDs[:0]
+	for _, rid := range res.IDs {
+		if rid != id {
+			filtered = append(filtered, rid)
+		}
+	}
+	res.IDs = filtered
+	return res, nil
+}
+
+// TopK returns the k indexed objects most similar to the given location
+// and text, by descending similarity.
+func (e *Engine) TopK(x, y float64, text string, k int) ([]Neighbor, error) {
+	return e.TopKCtx(context.Background(), x, y, text, k)
+}
+
+// TopKCtx is TopK with cancellation.
+func (e *Engine) TopKCtx(ctx context.Context, x, y float64, text string, k int) ([]Neighbor, error) {
+	if err := validateQuery(x, y, k); err != nil {
+		return nil, err
+	}
+	st, release := e.pin()
+	defer release()
+	nbs, _, err := core.TopK(st.tree, core.Query{Loc: geom.Point{X: x, Y: y}, Doc: e.vectorize(text)},
+		core.TopKOptions{K: k, Alpha: e.opt.Alpha, Sim: e.measure, Exclude: -1, Ctx: ctx})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(nbs))
+	for i, nb := range nbs {
+		out[i] = Neighbor{ID: nb.ID, Similarity: nb.Sim}
+	}
+	return out, nil
+}
+
+// Neighbor is one top-k result.
+type Neighbor struct {
+	ID         int32
+	Similarity float64
+}
+
+// Influence answers the bichromatic reverse query: which of the given
+// users would rank a facility at (x, y) with the given text within their
+// top-k among this engine's indexed objects (treated as the facility
+// set)? User text is weighted against the engine's corpus.
+func (e *Engine) Influence(users []Object, x, y float64, text string, k int) ([]int32, error) {
+	return e.InfluenceCtx(context.Background(), users, x, y, text, k)
+}
+
+// InfluenceCtx is Influence with cancellation.
+func (e *Engine) InfluenceCtx(ctx context.Context, users []Object, x, y float64, text string, k int) ([]int32, error) {
+	if err := validateQuery(x, y, k); err != nil {
+		return nil, err
+	}
+	us := make([]iurtree.Object, len(users))
+	for i, u := range users {
+		us[i] = iurtree.Object{ID: u.ID, Loc: geom.Point{X: u.X, Y: u.Y}, Doc: e.vectorize(u.Text)}
+	}
+	st, release := e.pin()
+	defer release()
+	var tracker storage.Tracker
+	out, err := core.BichromaticRSTkNN(st.tree, us,
+		core.Query{Loc: geom.Point{X: x, Y: y}, Doc: e.vectorize(text)},
+		core.BichromaticOptions{K: k, Alpha: e.opt.Alpha, Sim: e.measure,
+			Workers: e.opt.Workers, Ctx: ctx, Tracker: &tracker})
+	if err != nil {
+		return nil, err
+	}
+	return out.UserIDs, nil
+}
+
+// QueryRequest is one unit of work for BatchQuery.
+type QueryRequest struct {
+	X, Y float64
+	Text string
+	K    int
+}
+
+// BatchResult pairs one BatchQuery answer with its error; exactly one of
+// the two fields is meaningful.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// BatchQuery answers many reverse queries over a worker pool sharing
+// this engine. parallelism caps the number of concurrent workers; values
+// <= 0 default to runtime.GOMAXPROCS(0). Results are returned in request
+// order, each with its own per-query QueryStats. The whole batch runs
+// against one pinned snapshot: concurrent Insert/Delete/Apply calls do
+// not affect it, and every request sees the same index version.
+func (e *Engine) BatchQuery(reqs []QueryRequest, parallelism int) []BatchResult {
+	return e.BatchQueryCtx(context.Background(), reqs, parallelism)
+}
+
+// BatchQueryCtx is BatchQuery with cancellation: once the context is
+// done, not-yet-started requests fail fast with ctx.Err() and running
+// ones abort at their next node read.
+func (e *Engine) BatchQueryCtx(ctx context.Context, reqs []QueryRequest, parallelism int) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(reqs) {
+		parallelism = len(reqs)
+	}
+	st, release := e.pin()
+	defer release()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{Err: err}
+					continue
+				}
+				r := reqs[i]
+				if err := validateQuery(r.X, r.Y, r.K); err != nil {
+					out[i] = BatchResult{Err: err}
+					continue
+				}
+				res, err := e.queryVector(ctx, st, r.X, r.Y, e.vectorize(r.Text), r.K)
+				out[i] = BatchResult{Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// NaiveQuery answers the same reverse query by exhaustive scan — the
+// correctness oracle and the paper's comparison baseline. Exposed so
+// downstream users can sanity-check and benchmark on their own data.
+func (e *Engine) NaiveQuery(x, y float64, text string, k int) ([]int32, error) {
+	st, release := e.pin()
+	defer release()
+	return baseline.Naive(st.objects, core.Query{Loc: geom.Point{X: x, Y: y}, Doc: e.vectorize(text)},
+		k, e.opt.Alpha, st.tree.MaxD(), e.measure)
+}
