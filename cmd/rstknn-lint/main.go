@@ -1,6 +1,7 @@
 // Command rstknn-lint is the project's vettool: a go-vet-compatible
 // driver for the domain analyzers in internal/analysis (trackedio,
-// ctxflow, locksafe, floatcmp, hotalloc, sharedmut, errlost).
+// ctxflow, locksafe, floatcmp, hotalloc, sharedmut, errlost, and the
+// path-sensitive lifecycle analyzers pinsafe, retirepub, lockorder).
 //
 // It is not run directly; build it and hand it to go vet:
 //

@@ -227,11 +227,14 @@ func (e *Engine) Stats() IndexStats {
 func (e *Engine) Alpha() float64 { return e.opt.Alpha }
 
 // Len returns the number of indexed objects.
+//
+//rstknn:allow pinsafe reads only the snapshot's in-memory object count; epoch reclamation recycles tree-node slots, never the GC-managed engineState
 func (e *Engine) Len() int { return e.state.Load().tree.Len() }
 
 // ObjectByID returns the indexed object's location and text vector, or an
 // error when the ID is unknown.
 func (e *Engine) ObjectByID(id int32) (x, y float64, doc vector.Vector, err error) {
+	//rstknn:allow pinsafe touches only the GC-managed object table of the snapshot, not reclaimable tree-node slots; no pin needed
 	st := e.state.Load()
 	i, ok := st.byID[id]
 	if !ok {

@@ -3,8 +3,9 @@
 // has no network access to golang.org/x/tools, so the framework is built
 // on go/ast and go/types alone), a function-level dataflow engine that
 // propagates behavioral facts across packages (summary.go, facts.go),
-// and seven domain analyzers that enforce invariants the compiler
-// cannot:
+// an intraprocedural CFG constructor with a generic forward dataflow
+// solver (cfg.go, dataflow.go), and ten domain analyzers that enforce
+// invariants the compiler cannot:
 //
 //   - trackedio: no raw Store.Get / Tree.ReadNode in library code — query
 //     and traversal paths must use the *Tracked variants so per-query I/O
@@ -26,6 +27,16 @@
 //     closure-indexed merge path.
 //   - errlost: error results in internal/core, internal/storage, and
 //     internal/iurtree are never dropped or shadowed away.
+//   - pinsafe: every snapshot Pin is paired with Release on all paths
+//     (path-sensitive, over the CFG), the atomic snapshot-pointer load
+//     is dominated by Pin, and the pinned state is not used after
+//     Release.
+//   - retirepub: every storage Retire is dominated by an atomic publish
+//     (Store/Swap of the snapshot pointer) on every path — through
+//     helpers too, via the Publishes/Retires facts.
+//   - lockorder: per-function lock-acquisition sequences fold into a
+//     module-wide lock-order graph via the LockClasses/LockPairs facts;
+//     ordering cycles and double-acquisition on a path are flagged.
 //
 // Analyzers run under "go vet -vettool=$(go build -o /tmp/rstknn-lint
 // ./cmd/rstknn-lint)" via the unitchecker protocol (see vet.go) and under
@@ -152,7 +163,8 @@ func (p *Pass) SourceFiles() []*ast.File {
 
 // All returns every domain analyzer, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{TrackedIO, CtxFlow, LockSafe, FloatCmp, HotAlloc, SharedMut, ErrLost}
+	return []*Analyzer{TrackedIO, CtxFlow, LockSafe, FloatCmp, HotAlloc, SharedMut, ErrLost,
+		PinSafe, RetirePub, LockOrder}
 }
 
 // ------------------------------------------------------------------

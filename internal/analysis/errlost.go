@@ -8,8 +8,11 @@ package analysis
 // persisted pages or returns partial query results. errlost flags:
 //
 //   - a call statement whose result set includes an error, used as a
-//     bare statement (the error vanishes); deferred cleanup calls are
-//     exempt — annotate intentional drops with //rstknn:allow errlost;
+//     bare statement (the error vanishes), including the direct
+//     `defer f()` form — a deferred Close on the write path fails
+//     exactly when the data didn't reach disk, so the error must be
+//     checked in a deferred closure or the drop annotated with
+//     //rstknn:allow errlost;
 //   - assigning an error result to the blank identifier;
 //   - re-declaring an in-scope error variable with := so the outer one
 //     is never assigned (the classic shadowed-err bug). The init
@@ -31,8 +34,8 @@ import (
 // internal/storage, and internal/iurtree.
 var ErrLost = &Analyzer{
 	Name: "errlost",
-	Doc: "report error results dropped as bare statements, assigned to _, or lost to := " +
-		"shadowing in internal/core, internal/storage, and internal/iurtree",
+	Doc: "report error results dropped as bare statements or direct defers, assigned to _, " +
+		"or lost to := shadowing in internal/core, internal/storage, and internal/iurtree",
 	Run: runErrLost,
 }
 
@@ -102,6 +105,18 @@ func runErrLost(pass *Pass) error {
 			case *ast.ExprStmt:
 				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && resultErrors(call) {
 					pass.Reportf(s.Pos(), "error result of %s is dropped", types.ExprString(call.Fun))
+				}
+			case *ast.DeferStmt:
+				// defer f() discards f's error with no way to observe it;
+				// a deferred closure (whose own body IS inspected) can
+				// check it. Deferring a closure is only flagged when the
+				// closure itself returns an error.
+				if resultErrors(s.Call) {
+					name := "the deferred closure"
+					if _, lit := s.Call.Fun.(*ast.FuncLit); !lit {
+						name = types.ExprString(s.Call.Fun)
+					}
+					pass.Reportf(s.Pos(), "error result of %s is dropped by defer; check it in a deferred closure", name)
 				}
 			case *ast.AssignStmt:
 				checkErrAssign(pass, s, initStmts, isError)

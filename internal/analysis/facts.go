@@ -21,7 +21,9 @@ import (
 // factsVersion guards the on-disk encoding; bump on incompatible change.
 // A version mismatch discards the file (vet re-runs the tool whenever
 // the binary changes, so stale files only appear across tool versions).
-const factsVersion = 1
+// Version 2 added the lifecycle facts (Publishes/Retires) and the
+// lock-order facts (LockClasses/LockPairs).
+const factsVersion = 2
 
 // FuncSummary is the behavioral summary of one function: everything a
 // caller-side analyzer needs to know without the function's source.
@@ -60,12 +62,37 @@ type FuncSummary struct {
 	// make([]T, 0, n)): appending up to that capacity cannot allocate,
 	// which is hotalloc's "capacity proof" for append.
 	CapBacked bool `json:"cap_backed,omitempty"`
+
+	// Publishes reports that the function atomically publishes shared
+	// state (Store/Swap/CompareAndSwap on a sync/atomic pointer) on
+	// every path, itself or through a callee. retirepub treats a call
+	// to such a function as a publish dominating later retires.
+	Publishes bool `json:"publishes,omitempty"`
+
+	// Retires reports that the function retires storage (Reclaimer or
+	// store Retire) on some path that is NOT dominated by a publish
+	// inside the function — the retire obligation leaks to the caller,
+	// who must have published first. Retire sites suppressed with
+	// //rstknn:allow retirepub do not count.
+	Retires bool `json:"retires,omitempty"`
+
+	// LockClasses lists the lock classes (pkgpath.Type.field) the
+	// function may acquire, itself or transitively. lockorder uses it
+	// to grow ordering edges at call sites made under a held lock.
+	LockClasses []string `json:"lock_classes,omitempty"`
+
+	// LockPairs lists observed acquisition orderings "A=>B" (B acquired
+	// while A held), own and transitive. The union over a package's
+	// import closure is the lock-order graph lockorder checks for
+	// cycles.
+	LockPairs []string `json:"lock_pairs,omitempty"`
 }
 
 // interesting reports whether the summary carries any information worth
 // serializing; all-false summaries are omitted from the facts file.
 func (s *FuncSummary) interesting() bool {
-	return s.Allocates || s.PerformsIO || s.AcquiresLock || s.WritesShared || s.CapBacked
+	return s.Allocates || s.PerformsIO || s.AcquiresLock || s.WritesShared || s.CapBacked ||
+		s.Publishes || s.Retires || len(s.LockClasses) > 0 || len(s.LockPairs) > 0
 }
 
 // FactStore maps function keys (see FuncKey) to summaries. One store

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -27,6 +28,13 @@ func sampleStore() *FactStore {
 		SharedWhy:    "writes package-level stats",
 	})
 	s.add("pkg/b.carve", &FuncSummary{Func: "carve", CapBacked: true})
+	s.add("pkg/c.(Engine).publish", &FuncSummary{Func: "Engine.publish", Publishes: true})
+	s.add("pkg/c.(Reclaimer).Retire", &FuncSummary{Func: "Reclaimer.Retire", Retires: true})
+	s.add("pkg/c.(Store).grow", &FuncSummary{
+		Func:        "Store.grow",
+		LockClasses: []string{"pkg/c.Store.mu", "pkg/c.poolShard.mu"},
+		LockPairs:   []string{"pkg/c.Store.mu=>pkg/c.poolShard.mu"},
+	})
 	return s
 }
 
@@ -51,7 +59,7 @@ func TestFactsRoundTripFile(t *testing.T) {
 		if have == nil {
 			t.Fatalf("round-trip dropped %q", key)
 		}
-		if *have != *want {
+		if !reflect.DeepEqual(have, want) {
 			t.Errorf("round-trip changed %q: got %+v, want %+v", key, have, want)
 		}
 	}

@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"rstknn/internal/analysis"
+	"rstknn/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysis.LockOrder, "lockorder")
+}
+
+// TestLockOrderCrossPackageNeedsFacts proves the C <-> Shared cycle is
+// visible only through locks.Grab's LockClasses fact: without it the
+// call-site edge C.mu => Shared.Mu never forms, so neither direction of
+// the cycle is reported, while in-package doubles survive.
+func TestLockOrderCrossPackageNeedsFacts(t *testing.T) {
+	count := func(ds []analysis.Diagnostic, sub string) int {
+		n := 0
+		for _, d := range ds {
+			if strings.Contains(d.Message, sub) {
+				n++
+			}
+		}
+		return n
+	}
+
+	with := analysistest.Diagnostics(t, analysis.LockOrder, "lockorder", true)
+	if n := count(with, "lockorder/locks.Shared.Mu"); n != 2 {
+		t.Errorf("with facts: want both directions of the Shared cycle, got %d of 2: %v", n, with)
+	}
+
+	without := analysistest.Diagnostics(t, analysis.LockOrder, "lockorder", false)
+	if n := count(without, "lockorder/locks.Shared.Mu"); n != 0 {
+		t.Errorf("without facts: the Shared cycle should be invisible, got %d findings: %v", n, without)
+	}
+	if n := count(without, "already held on this path"); n != 3 {
+		t.Errorf("without facts: the three in-package doubles should survive, got %d: %v", n, without)
+	}
+}

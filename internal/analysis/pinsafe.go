@@ -1,0 +1,463 @@
+package analysis
+
+// pinsafe: the reader side of the epoch-based reclamation protocol
+// (internal/storage.Reclaimer) is followed on every path.
+//
+// The copy-on-write engine is only memory-safe if readers obey three
+// rules the compiler cannot check:
+//
+//  1. every Pin is paired with a Release on ALL paths out of the
+//     function — early returns, error branches, and panicking branches
+//     included (a leaked pin stalls the min-pinned-epoch frontier
+//     forever, so retired nodes are never freed);
+//  2. the atomic snapshot-pointer load is dominated by a Pin (loading
+//     first is the classic epoch-reclamation use-after-free: the
+//     snapshot can be retired and recycled between the load and the
+//     pin);
+//  3. the pinned state is not used after Release (the release ends the
+//     grace period; nodes reachable from the state may be freed and
+//     their slots recycled mid-traversal).
+//
+// Two pin shapes are recognized, by the same name-based matching the
+// other analyzers use (so fixtures can impersonate the real types):
+// the token form `tok := r.Pin()` on a type named Reclaimer, released
+// by `r.Release(tok)`, and the closure form `st, release := e.pin()` —
+// a method named pin/Pin whose last result is a func() — released by
+// calling the closure. `defer release()` / `defer r.Release(tok)` is
+// the idiomatic spelling and counts as a release on every subsequent
+// exit of the path that executed the defer (the exit-edge action model
+// of cfg.go). A pin whose token or release closure escapes — returned,
+// assigned away, or passed to another function — transfers the release
+// obligation to the receiver and is not tracked further; Engine.pin
+// itself, which mints the closure it returns, is the canonical escape.
+//
+// The analysis is a forward dataflow over the function's CFG: per pin
+// site a may-be-unreleased bit (OR join — a leak on any path is a
+// leak) and a may-be-released bit (OR join — a use after release on
+// any path is a bug), plus the must-pinned depth (min join — a load is
+// dominated only if a pin is held on every path reaching it).
+// Function literals are skipped: their bodies run at another time, on
+// another goroutine, or never.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PinSafe checks the Pin/Release discipline of epoch-based reclamation.
+var PinSafe = &Analyzer{
+	Name: "pinsafe",
+	Doc: "require Release on every path after Pin, an atomic snapshot load dominated " +
+		"by Pin, and no use of the pinned state after Release",
+	Run: runPinSafe,
+}
+
+func runPinSafe(pass *Pass) error {
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPinSafe(pass, fd)
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------------
+// Matching
+
+// pinTokenCall reports a token-form pin: a zero-arg method named Pin on
+// a type named Reclaimer with a single non-func result.
+func pinTokenCall(info *types.Info, call *ast.CallExpr) bool {
+	named, method, ok := methodCall(info, call)
+	if !ok || method != "Pin" || named.Obj().Name() != "Reclaimer" || len(call.Args) != 0 {
+		return false
+	}
+	_, isSig := info.TypeOf(call).(*types.Signature)
+	return !isSig
+}
+
+// pinClosureCall reports a closure-form pin: a method named pin or Pin
+// whose last result is a niladic func(), carrying the release
+// obligation.
+func pinClosureCall(info *types.Info, call *ast.CallExpr) bool {
+	_, method, ok := methodCall(info, call)
+	if !ok || (method != "pin" && method != "Pin") || len(call.Args) != 0 {
+		return false
+	}
+	tup, ok := info.TypeOf(call).(*types.Tuple)
+	if !ok || tup.Len() < 2 {
+		return false
+	}
+	sig, ok := tup.At(tup.Len() - 1).Type().Underlying().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+// releaseTokenArg returns the token expression of a Reclaimer.Release
+// call, or nil.
+func releaseTokenArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	named, method, ok := methodCall(info, call)
+	if !ok || method != "Release" || named.Obj().Name() != "Reclaimer" || len(call.Args) != 1 {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// atomicPointerLoad reports a Load on a sync/atomic.Pointer[T] — the
+// snapshot-pointer read rule 2 protects.
+func atomicPointerLoad(info *types.Info, call *ast.CallExpr) bool {
+	named, method, ok := methodCall(info, call)
+	if !ok || method != "Load" || len(call.Args) != 0 {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Name() == "Pointer" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// ------------------------------------------------------------------
+// Variable association (flow-insensitive prescan)
+
+// pinVars associates the function's variables with the pin sites they
+// came from. Keys are pin-call positions.
+type pinVars struct {
+	token   map[*types.Var]token.Pos   // tok := r.Pin()
+	release map[*types.Var]token.Pos   // _, release := e.pin()
+	state   map[*types.Var]token.Pos   // st, _ := e.pin()
+	lits    map[*ast.FuncLit]token.Pos // func() { r.Release(tok) }
+}
+
+func collectPinVars(info *types.Info, fd *ast.FuncDecl) *pinVars {
+	v := &pinVars{
+		token:   make(map[*types.Var]token.Pos),
+		release: make(map[*types.Var]token.Pos),
+		state:   make(map[*types.Var]token.Pos),
+		lits:    make(map[*ast.FuncLit]token.Pos),
+	}
+	varOf := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if d, ok := info.Defs[id].(*types.Var); ok {
+			return d
+		}
+		u, _ := info.Uses[id].(*types.Var)
+		return u
+	}
+	// Pass 1: pin calls and the variables bound to their results.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case pinTokenCall(info, call):
+			if len(as.Lhs) == 1 {
+				if tv := varOf(as.Lhs[0]); tv != nil {
+					v.token[tv] = call.Pos()
+				}
+			}
+		case pinClosureCall(info, call):
+			for i, lhs := range as.Lhs {
+				lv := varOf(lhs)
+				if lv == nil {
+					continue
+				}
+				if i == len(as.Lhs)-1 {
+					v.release[lv] = call.Pos()
+				} else {
+					v.state[lv] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	// Pass 2: function literals that release a tracked token carry that
+	// pin's release obligation wherever the literal goes.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if arg := releaseTokenArg(info, call); arg != nil {
+				if tv := varOf(arg); tv != nil {
+					if p, tracked := v.token[tv]; tracked {
+						v.lits[lit] = p
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return v
+}
+
+// ------------------------------------------------------------------
+// Dataflow
+
+// pinBits is the per-pin lattice: both bits are may-bits (OR join).
+type pinBits struct {
+	// held: some path reaches here with no release arranged.
+	held bool
+	// released: some path has already explicitly released.
+	released bool
+}
+
+// pinState is the abstract state of the pinsafe analysis.
+type pinState struct {
+	pins map[token.Pos]pinBits
+	// depth is the must-pinned depth: the minimum number of pins held
+	// over every path reaching this point.
+	depth int
+}
+
+func pinsafeFlow(info *types.Info, vars *pinVars) *Flow[pinState] {
+	return &Flow[pinState]{
+		Entry: pinState{pins: map[token.Pos]pinBits{}},
+		Copy: func(s pinState) pinState {
+			out := pinState{pins: make(map[token.Pos]pinBits, len(s.pins)), depth: s.depth}
+			for k, v := range s.pins {
+				out.pins[k] = v
+			}
+			return out
+		},
+		Join: func(a, b pinState) pinState {
+			for k, bv := range b.pins {
+				av := a.pins[k]
+				a.pins[k] = pinBits{held: av.held || bv.held, released: av.released || bv.released}
+			}
+			if b.depth < a.depth {
+				a.depth = b.depth
+			}
+			return a
+		},
+		Equal: func(a, b pinState) bool {
+			if a.depth != b.depth || len(a.pins) != len(b.pins) {
+				return false
+			}
+			for k, av := range a.pins {
+				if b.pins[k] != av {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(n ast.Node, s pinState) pinState {
+			return pinStmtScan(info, vars, n, s, nil)
+		},
+	}
+}
+
+// pinStmtScan applies one node's effect to the state, invoking report
+// (when non-nil) for in-place findings. It is both the transfer
+// function (report == nil, during Solve) and the diagnostic pass
+// (during Walk), so states and reports cannot drift apart.
+func pinStmtScan(info *types.Info, vars *pinVars, n ast.Node, s pinState, report func(pos token.Pos, format string, args ...any)) pinState {
+	releasePin := func(p token.Pos, explicit bool) {
+		b := s.pins[p]
+		b.held = false
+		if explicit {
+			b.released = true
+		}
+		s.pins[p] = b
+	}
+	escapePin := func(p token.Pos) { delete(s.pins, p) }
+
+	// releaseOf classifies a call as a release of a tracked pin:
+	// r.Release(tok) or release().
+	releaseOf := func(call *ast.CallExpr) (token.Pos, bool) {
+		if arg := releaseTokenArg(info, call); arg != nil {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if tv, ok := info.Uses[id].(*types.Var); ok {
+					if p, tracked := vars.token[tv]; tracked {
+						return p, true
+					}
+				}
+			}
+			return token.NoPos, false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if rv, ok := info.Uses[id].(*types.Var); ok {
+				if p, tracked := vars.release[rv]; tracked {
+					return p, true
+				}
+			}
+		}
+		return token.NoPos, false
+	}
+
+	// Deferred releases are exit-edge actions: the pin is considered
+	// released on every exit this path can reach, without setting the
+	// released bit (the deferred call runs after all uses) and without
+	// lowering the pinned depth (the pin stays held until exit).
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if p, ok := releaseOf(d.Call); ok {
+			releasePin(p, false)
+			return s
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			if p, tracked := vars.lits[lit]; tracked {
+				releasePin(p, false)
+				return s
+			}
+		}
+		// Another deferred call swallowing the token or closure takes
+		// over the obligation.
+		for _, arg := range d.Call.Args {
+			if p, ok := pinVarUse(info, vars, arg); ok {
+				escapePin(p)
+			}
+		}
+		return s
+	}
+
+	// Everything else — ReturnStmt included: returning the token or the
+	// release closure is an ident/literal use below, which escapes the
+	// obligation to the caller.
+	inspectOwn(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// A literal that releases a tracked pin, bound or passed
+			// anywhere, escapes the obligation; every literal's body
+			// runs at another time and is not scanned here.
+			if p, tracked := vars.lits[m]; tracked {
+				escapePin(p)
+			}
+			return false
+		case *ast.CallExpr:
+			switch {
+			case pinTokenCall(info, m), pinClosureCall(info, m):
+				if _, isStmt := n.(*ast.ExprStmt); isStmt && ast.Unparen(n.(*ast.ExprStmt).X) == m {
+					if report != nil {
+						report(m.Pos(), "result of Pin is discarded; the pin can never be released")
+					}
+				} else {
+					s.pins[m.Pos()] = pinBits{held: true}
+					s.depth++
+				}
+				return false
+			default:
+				if p, ok := releaseOf(m); ok {
+					releasePin(p, true)
+					if s.depth > 0 {
+						s.depth--
+					}
+					return false
+				}
+				if atomicPointerLoad(info, m) && s.depth == 0 && report != nil {
+					report(m.Pos(), "atomic snapshot-pointer load is not dominated by Pin; pin before loading the state")
+				}
+			}
+		case *ast.Ident:
+			v, ok := info.Uses[m].(*types.Var)
+			if !ok {
+				return true
+			}
+			if p, tracked := vars.state[v]; tracked {
+				if s.pins[p].released && report != nil {
+					report(m.Pos(), "%s is used after Release; the pinned snapshot may already be reclaimed", v.Name())
+				}
+				return true
+			}
+			// A token or closure referenced outside a release call
+			// escapes: stored, compared, passed along — the obligation
+			// moves with it.
+			if p, tracked := vars.token[v]; tracked {
+				escapePin(p)
+			}
+			if p, tracked := vars.release[v]; tracked {
+				escapePin(p)
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// pinVarUse reports whether e is a use of a tracked token or release
+// variable, returning the pin it belongs to.
+func pinVarUse(info *types.Info, vars *pinVars, e ast.Expr) (token.Pos, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return token.NoPos, false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return token.NoPos, false
+	}
+	if p, tracked := vars.token[v]; tracked {
+		return p, true
+	}
+	if p, tracked := vars.release[v]; tracked {
+		return p, true
+	}
+	return token.NoPos, false
+}
+
+// ------------------------------------------------------------------
+// Per-function check
+
+func checkPinSafe(pass *Pass, fd *ast.FuncDecl) {
+	// Fast path: functions with no pins and no atomic pointer loads.
+	interesting := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pinTokenCall(pass.TypesInfo, call) || pinClosureCall(pass.TypesInfo, call) ||
+			atomicPointerLoad(pass.TypesInfo, call) {
+			interesting = true
+			return false
+		}
+		return true
+	})
+	if !interesting {
+		return
+	}
+
+	vars := collectPinVars(pass.TypesInfo, fd)
+	g := NewCFG(fd.Body)
+	flow := pinsafeFlow(pass.TypesInfo, vars)
+	sol := Solve(g, flow)
+
+	// In-place findings: undominated loads, uses after release,
+	// discarded pins.
+	sol.Walk(func(n ast.Node, before pinState) {
+		pinStmtScan(pass.TypesInfo, vars, n, before, func(pos token.Pos, format string, args ...any) {
+			pass.Reportf(pos, format, args...)
+		})
+	})
+
+	// Exit leaks: a pin still held on any path into Exit.
+	leaks := make(map[token.Pos]bool)
+	sol.ExitStates(func(s pinState) {
+		for pos, b := range s.pins {
+			if b.held {
+				leaks[pos] = true
+			}
+		}
+	})
+	ordered := make([]token.Pos, 0, len(leaks))
+	for pos := range leaks {
+		ordered = append(ordered, pos)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, pos := range ordered {
+		pass.Reportf(pos, "pin is not released on every path out of %s; release it (or defer the release) on early returns and error branches", fd.Name.Name)
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rstknn/internal/analysis"
+	"rstknn/internal/analysis/analysistest"
+)
+
+func TestPinSafe(t *testing.T) {
+	analysistest.Run(t, analysis.PinSafe, "pinsafe")
+}

@@ -1,0 +1,242 @@
+package analysis
+
+// retirepub: the writer side of the epoch-based reclamation protocol.
+// A writer may only Retire storage AFTER atomically publishing the new
+// state (Store/Swap on the snapshot pointer): publish-then-retire means
+// every reader that pins from now on sees the new state, so the retired
+// nodes age out of all pinned epochs and can be freed; retire-then-
+// publish hands the Reclaimer nodes a concurrently arriving reader can
+// still reach through the OLD pointer — the use-after-free the whole
+// copy-on-write design exists to prevent.
+//
+// The check is a forward MUST dataflow over the function's CFG: a
+// single published bit with AND join (a retire is safe only if a
+// publish precedes it on EVERY path reaching it). Publish evidence is
+// an atomic Store/Swap/CompareAndSwap on a sync/atomic pointer, or a
+// call to a function whose Publishes fact says it publishes on all its
+// paths. Retire sites are Retire methods on the Reclaimer or a store
+// type, or calls to functions whose Retires fact says they retire
+// without publishing internally. Both facts ride the .vetx files, so
+// the check sees through helpers across package boundaries: the
+// summarizer (summary.go) runs the same scan to decide each function's
+// bits — Publishes is the AND of the published bit over all exits,
+// Retires means some retire site inside is NOT dominated by a publish
+// (the obligation leaks to the caller).
+//
+// Deferred and closure-wrapped statements are skipped: a publish inside
+// a defer runs at function exit and dominates nothing in the body, and
+// a closure's retire runs at an unknown time. The reclamation
+// primitives themselves (Reclaimer.Retire and the store Retire
+// methods) necessarily retire without publishing; they carry
+// whole-function //rstknn:allow retirepub directives, which also clear
+// their Retires fact so callers are judged on their own call sites.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RetirePub checks that every Retire is dominated by an atomic publish.
+var RetirePub = &Analyzer{
+	Name: "retirepub",
+	Doc: "require every storage Retire to be dominated by an atomic publish " +
+		"(Store/Swap of the snapshot pointer) on every path, through helpers via facts",
+	Run: runRetirePub,
+}
+
+func runRetirePub(pass *Pass) error {
+	// Facts.Nodes covers exactly the non-test function declarations of
+	// the package (see Summarize), in source order.
+	for _, n := range pass.Facts.Nodes() {
+		findings, _ := scanRetirePub(pass.Facts, pass.TypesInfo, n)
+		for _, f := range findings {
+			pass.Reportf(f.pos, "%s is not dominated by an atomic publish on every path; Store/Swap the new state first, then retire", f.desc)
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------------
+// Matching
+
+// atomicPublish reports a Store/Swap/CompareAndSwap on a sync/atomic
+// type — the canonical publication of a new snapshot.
+func atomicPublish(info *types.Info, call *ast.CallExpr) bool {
+	named, method, ok := methodCall(info, call)
+	if !ok {
+		return false
+	}
+	switch method {
+	case "Store", "Swap", "CompareAndSwap":
+	default:
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// retireTarget returns a description of what a direct Retire call
+// retires, or "" if the call is not one. Matched by name so fixtures
+// can impersonate the real types: a method named Retire on a Reclaimer
+// or one of the store types.
+func retireTarget(info *types.Info, call *ast.CallExpr) string {
+	named, method, ok := methodCall(info, call)
+	if !ok || method != "Retire" {
+		return ""
+	}
+	name := named.Obj().Name()
+	if name != "Reclaimer" && !storeTypeNames[name] {
+		return ""
+	}
+	return "Retire on " + name
+}
+
+// ------------------------------------------------------------------
+// Dataflow
+
+// retireFinding is one retire site not dominated by a publish.
+type retireFinding struct {
+	pos  token.Pos
+	desc string
+}
+
+// pubState is the must-published lattice: true only when a publish has
+// happened on every path reaching this point.
+type pubState struct{ published bool }
+
+// scanRetirePub solves the must-published dataflow over n's body and
+// returns the undominated retire sites plus whether the function
+// publishes on every path out (its Publishes bit). Both the analyzer
+// and the summarizer call it, so diagnostics and facts cannot drift.
+func scanRetirePub(pf *PkgFacts, info *types.Info, n *FuncNode) ([]retireFinding, bool) {
+	// Fast path: no retire or publish shapes anywhere in the body.
+	interesting := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if atomicPublish(info, call) || retireTarget(info, call) != "" {
+			interesting = true
+			return false
+		}
+		if fn := staticCallee(info, call); fn != nil {
+			if s := pf.SummaryOf(fn); s != nil && (s.Publishes || s.Retires) {
+				interesting = true
+				return false
+			}
+		}
+		return true
+	})
+	if !interesting {
+		return nil, false
+	}
+
+	g := NewCFG(n.Decl.Body)
+	flow := &Flow[pubState]{
+		Entry: pubState{},
+		Join:  func(a, b pubState) pubState { return pubState{published: a.published && b.published} },
+		Equal: func(a, b pubState) bool { return a == b },
+		Transfer: func(node ast.Node, s pubState) pubState {
+			return pubStmtScan(pf, info, node, s, nil)
+		},
+	}
+	sol := Solve(g, flow)
+
+	var findings []retireFinding
+	sol.Walk(func(node ast.Node, before pubState) {
+		pubStmtScan(pf, info, node, before, func(pos token.Pos, desc string) {
+			findings = append(findings, retireFinding{pos: pos, desc: desc})
+		})
+	})
+
+	publishesAll := true
+	sawExit := false
+	sol.ExitStates(func(s pubState) {
+		sawExit = true
+		publishesAll = publishesAll && s.published
+	})
+	return findings, publishesAll && sawExit
+}
+
+// pubStmtScan applies one node's publish/retire effects in source
+// order; report (when non-nil) receives undominated retire sites.
+// Deferred calls and function literals do not execute here and are
+// skipped entirely.
+func pubStmtScan(pf *PkgFacts, info *types.Info, n ast.Node, s pubState, report func(pos token.Pos, desc string)) pubState {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return s
+	}
+	inspectOwn(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if desc := retireTarget(info, m); desc != "" {
+				if !s.published && report != nil {
+					report(m.Pos(), desc)
+				}
+				return true
+			}
+			if atomicPublish(info, m) {
+				s.published = true
+				return true
+			}
+			if fn := staticCallee(info, m); fn != nil {
+				if cs := pf.SummaryOf(fn); cs != nil {
+					if cs.Retires && !s.published && report != nil {
+						report(m.Pos(), "call to "+funcDisplay(fn, pf.pkg)+" (which retires storage)")
+					}
+					if cs.Publishes {
+						s.published = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// ------------------------------------------------------------------
+// Summary wiring
+
+// fixLifecycle computes the Publishes and Retires facts. Publishes is
+// iterated first (a function publishes if its own dataflow exits
+// published on every path, where callee Publishes facts count as
+// publish points — monotone increasing); Retires second (given the
+// final publish set, a function retires if any non-allowed retire site
+// is undominated — also monotone, since callee Retires facts only add
+// sites). Allow-suppressed sites do not set the fact: the directive
+// blesses the primitive, so callers are judged on their own sites.
+func (pf *PkgFacts) fixLifecycle(info *types.Info, dirs *directiveIndex) {
+	for changed := true; changed; {
+		changed = false
+		for _, n := range pf.own {
+			if n.Summary.Publishes {
+				continue
+			}
+			if _, pub := scanRetirePub(pf, info, n); pub {
+				n.Summary.Publishes = true
+				changed = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range pf.own {
+			if n.Summary.Retires {
+				continue
+			}
+			findings, _ := scanRetirePub(pf, info, n)
+			for _, f := range findings {
+				if !dirs.allows(RetirePub.Name, pf.fset.Position(f.pos)) {
+					n.Summary.Retires = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}

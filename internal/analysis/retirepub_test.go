@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"rstknn/internal/analysis"
+	"rstknn/internal/analysis/analysistest"
+)
+
+func TestRetirePub(t *testing.T) {
+	analysistest.Run(t, analysis.RetirePub, "retirepub")
+}
+
+func TestRetirePubHelperPackage(t *testing.T) {
+	analysistest.Run(t, analysis.RetirePub, "retirepub/helper")
+}
+
+// TestRetirePubCrossPackageNeedsFacts proves the cross-package finding
+// rides the Retires fact: with the helper package's facts the call to
+// DropUnblessed is flagged; without them the callee is unknown and the
+// call goes silent, while same-package findings are unaffected.
+func TestRetirePubCrossPackageNeedsFacts(t *testing.T) {
+	has := func(ds []analysis.Diagnostic, sub string) bool {
+		for _, d := range ds {
+			if strings.Contains(d.Message, sub) {
+				return true
+			}
+		}
+		return false
+	}
+
+	with := analysistest.Diagnostics(t, analysis.RetirePub, "retirepub", true)
+	if !has(with, "retirepub/helper.DropUnblessed") {
+		t.Errorf("with facts: missing the DropUnblessed call-site diagnostic; got %v", with)
+	}
+
+	without := analysistest.Diagnostics(t, analysis.RetirePub, "retirepub", false)
+	if has(without, "retirepub/helper.DropUnblessed") {
+		t.Errorf("without facts: DropUnblessed's Retires fact should be invisible; got %v", without)
+	}
+	if !has(without, "call to discard") {
+		t.Errorf("without facts: the same-package helper finding should survive; got %v", without)
+	}
+}

@@ -285,6 +285,12 @@ func Summarize(fset *token.FileSet, files []*ast.File, pkg *types.Package, info 
 		scanBehavior(pf, n, info, dirs)
 	}
 	pf.fixBehavior()
+
+	// Pass 4: the path-sensitive facts. Both run CFG dataflow per
+	// function (see retirepub.go, lockorder.go) and consult the
+	// behavioral facts fixed above.
+	pf.fixLifecycle(info, dirs)
+	pf.fixLockOrder(info)
 	return pf
 }
 

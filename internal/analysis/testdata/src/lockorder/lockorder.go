@@ -1,0 +1,128 @@
+// Package lockorder is an analysistest fixture for the lockorder
+// analyzer: double acquisitions (straight-line, through deferred
+// unlocks, and at branch joins), ordering cycles within the package,
+// and cycles visible only through a callee's LockClasses fact.
+package lockorder
+
+import (
+	"sync"
+
+	"lockorder/locks"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+// ------------------------------------------------------------------
+// Double acquisition
+
+func doubleAcquire(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `lockorder\.A\.mu is already held on this path`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// doubleAfterDeferredUnlock: the deferred unlock runs at exit, so the
+// mutex is still held when the second Lock deadlocks.
+func doubleAfterDeferredUnlock(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mu.Lock() // want `lockorder\.A\.mu is already held on this path`
+}
+
+// branchJoinDouble: held on every incoming path, so the join keeps it.
+func branchJoinDouble(a *A, fast bool) {
+	if fast {
+		a.mu.Lock()
+	} else {
+		a.mu.Lock()
+	}
+	a.mu.Lock() // want `lockorder\.A\.mu is already held on this path`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// branchJoinReleased: unlocked on one path, so the must-held
+// intersection drops it and re-acquiring is not a certain deadlock.
+func branchJoinReleased(a *A, fast bool) {
+	a.mu.Lock()
+	if fast {
+		a.mu.Unlock()
+	}
+	a.mu.Lock() // clean under must semantics: not held on every path
+	a.mu.Unlock()
+}
+
+// loopLockUnlock: the back-edge join must not accumulate phantom holds.
+func loopLockUnlock(a *A, n int) {
+	for i := 0; i < n; i++ {
+		a.mu.Lock()
+		a.mu.Unlock()
+	}
+}
+
+// distinctInstancesSameClass: two *A values collapse into one class but
+// different receiver expressions, so no double is reported (shard-style
+// locking is ordered by index, beyond a class analysis).
+func distinctInstancesSameClass(a1, a2 *A) {
+	a1.mu.Lock()
+	a2.mu.Lock()
+	a2.mu.Unlock()
+	a1.mu.Unlock()
+}
+
+// ------------------------------------------------------------------
+// Ordering cycles within the package
+
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `creates a lock-order cycle`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `creates a lock-order cycle`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// consistentOrder: C before D everywhere, so the C=>D edge closes no
+// cycle.
+func consistentOrder(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func consistentOrderElsewhere(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// ------------------------------------------------------------------
+// Cross-function cycle: one direction is only visible through the
+// callee's LockClasses fact.
+
+func grabUnderC(c *C, s *locks.Shared) {
+	c.mu.Lock()
+	locks.Grab(s) // want `creates a lock-order cycle`
+	c.mu.Unlock()
+}
+
+func lockSharedThenC(c *C, s *locks.Shared) {
+	s.Mu.Lock()
+	c.mu.Lock() // want `creates a lock-order cycle`
+	c.mu.Unlock()
+	s.Mu.Unlock()
+}

@@ -1,0 +1,16 @@
+// Package locks is the dependency side of the cross-package lockorder
+// fixture: Grab's LockClasses fact is how the root package learns that
+// calling it under a held lock creates an ordering edge.
+package locks
+
+import "sync"
+
+// Shared is a mutex-bearing type the root package orders against.
+type Shared struct{ Mu sync.Mutex }
+
+// Grab acquires and releases the shared mutex: LockClasses carries
+// lockorder/locks.Shared.Mu to callers.
+func Grab(s *Shared) {
+	s.Mu.Lock()
+	s.Mu.Unlock()
+}

@@ -1,0 +1,185 @@
+// Package pinsafe is an analysistest fixture for the pinsafe analyzer:
+// a Reclaimer/engine stand-in exercising the Pin/Release protocol over
+// early returns, branch joins, loops, defers, and the closure-form pin
+// helper.
+package pinsafe
+
+import "sync/atomic"
+
+type PinToken struct{ epoch int64 }
+
+type Reclaimer struct{}
+
+func (r *Reclaimer) Pin() PinToken      { return PinToken{} }
+func (r *Reclaimer) Release(t PinToken) {}
+
+type State struct{ n int }
+
+type Engine struct {
+	state atomic.Pointer[State]
+	rec   Reclaimer
+}
+
+// pin is the closure-form helper: the token and state escape into the
+// returned release closure, so the obligation moves to the caller and
+// pin itself is clean.
+func (e *Engine) pin() (*State, func()) {
+	tok := e.rec.Pin()
+	st := e.state.Load()
+	return st, func() { e.rec.Release(tok) }
+}
+
+// ------------------------------------------------------------------
+// Release on every path
+
+func deferRelease(e *Engine) int {
+	tok := e.rec.Pin()
+	defer e.rec.Release(tok)
+	st := e.state.Load()
+	return st.n
+}
+
+func straightLine(e *Engine, bad bool) (int, error) {
+	tok := e.rec.Pin()
+	st := e.state.Load()
+	n := st.n
+	e.rec.Release(tok)
+	return n, nil
+}
+
+func leakOnErrorBranch(e *Engine, bad bool) (int, error) {
+	tok := e.rec.Pin() // want `pin is not released on every path out of leakOnErrorBranch`
+	st := e.state.Load()
+	if bad {
+		return 0, errNope // error path exits without Release
+	}
+	e.rec.Release(tok)
+	return st.n, nil
+}
+
+// deferAfterReturn: a defer only covers exits AFTER the path executed
+// it; the early return above it leaks the pin.
+func deferAfterReturn(e *Engine, bad bool) int {
+	tok := e.rec.Pin() // want `pin is not released on every path out of deferAfterReturn`
+	if bad {
+		return 0
+	}
+	defer e.rec.Release(tok)
+	return e.state.Load().n
+}
+
+// branchJoinLeak releases on one branch only: the join keeps the
+// may-unreleased bit.
+func branchJoinLeak(e *Engine, done bool) {
+	tok := e.rec.Pin() // want `pin is not released on every path out of branchJoinLeak`
+	if done {
+		e.rec.Release(tok)
+	}
+}
+
+func branchJoinClean(e *Engine, done bool) {
+	tok := e.rec.Pin()
+	if done {
+		e.rec.Release(tok)
+	} else {
+		e.rec.Release(tok)
+	}
+}
+
+// loopClean pins and releases once per iteration; the back-edge join
+// must not accumulate phantom held pins.
+func loopClean(e *Engine, xs []int) int {
+	total := 0
+	for range xs {
+		tok := e.rec.Pin()
+		total += e.state.Load().n
+		e.rec.Release(tok)
+	}
+	return total
+}
+
+// panicCovered: the deferred release covers the panicking exit too.
+func panicCovered(e *Engine, bad bool) int {
+	tok := e.rec.Pin()
+	defer e.rec.Release(tok)
+	if bad {
+		panic("bad")
+	}
+	return e.state.Load().n
+}
+
+func discarded(e *Engine) {
+	e.rec.Pin() // want `result of Pin is discarded`
+}
+
+// ------------------------------------------------------------------
+// Closure-form pin (cross-function helper)
+
+func closureDeferClean(e *Engine) int {
+	st, release := e.pin()
+	defer release()
+	return st.n
+}
+
+func closureLeak(e *Engine, bad bool) int {
+	st, release := e.pin() // want `pin is not released on every path out of closureLeak`
+	n := st.n
+	if bad {
+		return 0 // leaks: release not yet deferred, not called
+	}
+	release()
+	return n
+}
+
+// handBack returns the release closure: the obligation escapes to the
+// caller, so no leak here.
+func handBack(e *Engine) (int, func()) {
+	st, release := e.pin()
+	return st.n, release
+}
+
+// ------------------------------------------------------------------
+// Load dominated by Pin
+
+func undominatedLoad(e *Engine) int {
+	st := e.state.Load() // want `atomic snapshot-pointer load is not dominated by Pin`
+	return st.n
+}
+
+func undominatedLoadInReturn(e *Engine) int {
+	return e.state.Load().n // want `atomic snapshot-pointer load is not dominated by Pin`
+}
+
+// dominatedOnOneBranchOnly: the must-pinned depth is the minimum over
+// paths, so a pin on just one branch does not dominate the load.
+func dominatedOnOneBranchOnly(e *Engine, lucky bool) int {
+	var tok PinToken
+	if lucky {
+		tok = e.rec.Pin()
+	}
+	st := e.state.Load() // want `atomic snapshot-pointer load is not dominated by Pin`
+	e.rec.Release(tok)
+	return st.n
+}
+
+// ------------------------------------------------------------------
+// No use after Release
+
+func useAfterRelease(e *Engine) int {
+	st, release := e.pin()
+	release()
+	return st.n // want `st is used after Release`
+}
+
+func useBeforeReleaseClean(e *Engine) int {
+	st, release := e.pin()
+	n := st.n
+	release()
+	return n
+}
+
+var errNope = errorString("nope")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,37 @@
+// Package helper is the dependency side of the cross-package retirepub
+// fixture: its Publishes/Retires facts are only visible to the root
+// package through propagation.
+package helper
+
+import "sync/atomic"
+
+type NodeID int32
+
+type Reclaimer struct{}
+
+func (r *Reclaimer) Retire(ids []NodeID) {} // the stand-in primitive: empty body, no fact
+
+type State struct{ n int }
+
+type Engine struct {
+	State atomic.Pointer[State]
+	Rec   Reclaimer
+}
+
+// PublishAll swaps in the new state on every path — it carries the
+// Publishes fact.
+func PublishAll(e *Engine, next *State) {
+	e.State.Store(next)
+}
+
+// Drop retires under an allow directive: the blessed site neither
+// reports here nor sets the Retires fact, so callers are not tainted.
+func Drop(e *Engine, ids []NodeID) {
+	e.Rec.Retire(ids) //rstknn:allow retirepub fixture stand-in for a blessed maintenance path
+}
+
+// DropUnblessed retires without publishing and without a directive: its
+// own retire is reported here AND its Retires fact taints callers.
+func DropUnblessed(e *Engine, ids []NodeID) {
+	e.Rec.Retire(ids) // want `Retire on Reclaimer is not dominated by an atomic publish`
+}

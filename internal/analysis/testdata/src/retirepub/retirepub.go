@@ -1,0 +1,120 @@
+// Package retirepub is an analysistest fixture for the retirepub
+// analyzer: publish-before-retire over branch joins, loops, defers,
+// same-package helpers, and (via the helper package's facts)
+// cross-package helpers.
+package retirepub
+
+import (
+	"retirepub/helper"
+)
+
+type engine = helper.Engine
+
+type state = helper.State
+
+// ------------------------------------------------------------------
+// Direct sites
+
+func publishThenRetire(e *engine, next *state, ids []helper.NodeID) {
+	e.State.Store(next)
+	e.Rec.Retire(ids)
+}
+
+func retireThenPublish(e *engine, next *state, ids []helper.NodeID) {
+	e.Rec.Retire(ids) // want `Retire on Reclaimer is not dominated by an atomic publish`
+	e.State.Store(next)
+}
+
+func swapCountsAsPublish(e *engine, next *state, ids []helper.NodeID) {
+	e.State.Swap(next)
+	e.Rec.Retire(ids)
+}
+
+// ------------------------------------------------------------------
+// Branch joins: must-publish is the AND over incoming paths
+
+func publishOnOneBranchOnly(e *engine, next *state, ids []helper.NodeID, lucky bool) {
+	if lucky {
+		e.State.Store(next)
+	}
+	e.Rec.Retire(ids) // want `Retire on Reclaimer is not dominated by an atomic publish`
+}
+
+func publishOnBothBranches(e *engine, next, alt *state, ids []helper.NodeID, lucky bool) {
+	if lucky {
+		e.State.Store(next)
+	} else {
+		e.State.Store(alt)
+	}
+	e.Rec.Retire(ids)
+}
+
+// publishInLoop may run zero iterations, so it dominates nothing after
+// the loop.
+func publishInLoop(e *engine, nexts []*state, ids []helper.NodeID) {
+	for _, n := range nexts {
+		e.State.Store(n)
+	}
+	e.Rec.Retire(ids) // want `Retire on Reclaimer is not dominated by an atomic publish`
+}
+
+func retireInLoopAfterPublish(e *engine, next *state, batches [][]helper.NodeID) {
+	e.State.Store(next)
+	for _, ids := range batches {
+		e.Rec.Retire(ids)
+	}
+}
+
+// ------------------------------------------------------------------
+// Defer: a deferred publish runs at exit and dominates nothing
+
+func deferredPublish(e *engine, next *state, ids []helper.NodeID) {
+	defer e.State.Store(next)
+	e.Rec.Retire(ids) // want `Retire on Reclaimer is not dominated by an atomic publish`
+}
+
+// ------------------------------------------------------------------
+// Same-package helpers (facts within the unit)
+
+// installState publishes on every path: its Publishes fact makes calls
+// to it count as publishes.
+func installState(e *engine, next *state) {
+	e.State.Store(next)
+}
+
+func publishViaHelper(e *engine, next *state, ids []helper.NodeID) {
+	installState(e, next)
+	e.Rec.Retire(ids)
+}
+
+// discard retires without publishing: the Retires fact taints callers.
+func discard(e *engine, ids []helper.NodeID) {
+	e.Rec.Retire(ids) // want `Retire on Reclaimer is not dominated by an atomic publish`
+}
+
+func retireViaHelper(e *engine, next *state, ids []helper.NodeID) {
+	discard(e, ids) // want `call to discard \(which retires storage\) is not dominated by an atomic publish`
+	e.State.Store(next)
+}
+
+func retireViaHelperAfterPublish(e *engine, next *state, ids []helper.NodeID) {
+	e.State.Store(next)
+	discard(e, ids)
+}
+
+// ------------------------------------------------------------------
+// Cross-package helpers (facts across units)
+
+func crossPackagePublish(e *engine, next *state, ids []helper.NodeID) {
+	helper.PublishAll(e, next)
+	e.Rec.Retire(ids)
+}
+
+func crossPackageRetire(e *engine, next *state, ids []helper.NodeID) {
+	helper.DropUnblessed(e, ids) // want `call to retirepub/helper\.DropUnblessed \(which retires storage\) is not dominated by an atomic publish`
+	e.State.Store(next)
+}
+
+func crossPackageBlessed(e *engine, ids []helper.NodeID) {
+	helper.Drop(e, ids) // clean: the directive on Drop's site cleared its Retires fact
+}

@@ -14,7 +14,32 @@ func dropped() {
 }
 
 func deferred() {
-	defer mayFail() // clean: deferred best-effort cleanup is idiomatic
+	defer mayFail() // want `error result of mayFail is dropped by defer`
+}
+
+func deferredClosureChecked() {
+	defer func() {
+		if err := mayFail(); err != nil { // clean: the closure handles it
+			print(err != nil)
+		}
+	}()
+}
+
+func deferredClosureDrop() {
+	defer func() {
+		mayFail() // want `error result of mayFail is dropped`
+	}()
+}
+
+func deferredClosureReturnsError() {
+	defer func() error { // want `error result of the deferred closure is dropped by defer`
+		return mayFail()
+	}()
+}
+
+func blessedDeferredDrop() {
+	//rstknn:allow errlost best-effort close on an error path; the sync already failed
+	defer mayFail()
 }
 
 func blank() {

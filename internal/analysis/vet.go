@@ -220,15 +220,7 @@ func runUnit(cfgPath string, analyzers []*Analyzer, jsonOut bool, baselinePath s
 		if err != nil {
 			log.Fatalf("reading baseline: %v", err)
 		}
-		for name, ds := range diags {
-			kept := ds[:0]
-			for _, d := range ds {
-				if !known[baselineKey(filepath.Base(fset.Position(d.Pos).Filename), d.Message)] {
-					kept = append(kept, d)
-				}
-			}
-			diags[name] = kept
-		}
+		applyBaseline(known, fset, analyzers, diags)
 	}
 
 	if jsonOut {
@@ -263,13 +255,16 @@ func standardUnit(cfg *vetConfig) bool {
 // readBaseline parses a baseline file: one "file:line[:col]: message"
 // diagnostic per line, as written by redirecting a vet run's stderr
 // (# comments and blank lines ignored). Matching is by base filename
-// and message — line numbers shift too easily to key on.
-func readBaseline(path string) (map[string]bool, error) {
+// and message — line numbers shift too easily to key on — and counted:
+// an entry appearing N times suppresses at most N matching findings,
+// so when a baselined problem multiplies, the new occurrences still
+// surface.
+func readBaseline(path string) (map[string]int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	known := make(map[string]bool)
+	known := make(map[string]int)
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -283,9 +278,29 @@ func readBaseline(path string) (map[string]bool, error) {
 		if i := strings.Index(posn, ":"); i >= 0 {
 			file = posn[:i]
 		}
-		known[baselineKey(filepath.Base(file), msg)] = true
+		known[baselineKey(filepath.Base(file), msg)]++
 	}
 	return known, nil
+}
+
+// applyBaseline removes findings covered by the baseline, consuming one
+// count per match. Analyzers are processed in registration order and
+// findings in report order, so a short-counted baseline suppresses the
+// same occurrences on every run.
+func applyBaseline(known map[string]int, fset *token.FileSet, analyzers []*Analyzer, diags map[string][]Diagnostic) {
+	for _, a := range analyzers {
+		ds := diags[a.Name]
+		kept := ds[:0]
+		for _, d := range ds {
+			key := baselineKey(filepath.Base(fset.Position(d.Pos).Filename), d.Message)
+			if known[key] > 0 {
+				known[key]--
+				continue
+			}
+			kept = append(kept, d)
+		}
+		diags[a.Name] = kept
+	}
 }
 
 func baselineKey(file, message string) string {
@@ -333,10 +348,14 @@ func (f importerFunc) Import(path string) (*types.Package, error) { return f(pat
 // shape per-unit outputs are merged under:
 //
 //	{"<id>": {"diagnostics": {"<analyzer>": [{posn, message, analyzer}]},
+//	          "counts":      {"<analyzer>": n},
 //	          "suppressed":  {"<analyzer>": count}}}
 //
-// suppressed counts the findings //rstknn:allow directives silenced, per
-// analyzer — the audit surface for exceptions.
+// counts carries one entry per registered analyzer, zeroes included, so
+// the report proves which analyzers ran (a missing pinsafe key reads as
+// "not wired in"; an explicit 0 reads as "ran clean"). suppressed counts
+// the findings //rstknn:allow directives silenced, per analyzer — the
+// audit surface for exceptions.
 func printJSONDiagnostics(w io.Writer, fset *token.FileSet, id string, analyzers []*Analyzer, diags map[string][]Diagnostic, suppressed map[string]int) {
 	type jsonDiag struct {
 		Posn     string `json:"posn"`
@@ -345,14 +364,17 @@ func printJSONDiagnostics(w io.Writer, fset *token.FileSet, id string, analyzers
 	}
 	type jsonUnit struct {
 		Diagnostics map[string][]jsonDiag `json:"diagnostics"`
+		Counts      map[string]int        `json:"counts"`
 		Suppressed  map[string]int        `json:"suppressed"`
 	}
 	unit := jsonUnit{
 		Diagnostics: make(map[string][]jsonDiag),
+		Counts:      make(map[string]int, len(analyzers)),
 		Suppressed:  suppressed,
 	}
 	for _, a := range analyzers {
 		ds := diags[a.Name]
+		unit.Counts[a.Name] = len(ds)
 		if len(ds) == 0 {
 			continue
 		}

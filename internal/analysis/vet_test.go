@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"encoding/json"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
@@ -85,6 +86,7 @@ type jsonUnitReport struct {
 		Message  string `json:"message"`
 		Analyzer string `json:"analyzer"`
 	} `json:"diagnostics"`
+	Counts     map[string]int `json:"counts"`
 	Suppressed map[string]int `json:"suppressed"`
 }
 
@@ -126,6 +128,20 @@ func blessed(a, b float64) bool {
 	}
 	if unit.Suppressed["floatcmp"] != 1 {
 		t.Fatalf("suppressed[floatcmp] = %d, want 1 (tree %v)", unit.Suppressed["floatcmp"], tree)
+	}
+	// Every registered analyzer reports a count, zeroes included: the
+	// report proves pinsafe/retirepub/lockorder ran, not just that they
+	// found nothing.
+	if len(unit.Counts) != len(All()) {
+		t.Fatalf("counts has %d entries, want one per analyzer (%d): %v", len(unit.Counts), len(All()), unit.Counts)
+	}
+	if unit.Counts["floatcmp"] != 1 {
+		t.Fatalf("counts[floatcmp] = %d, want 1", unit.Counts["floatcmp"])
+	}
+	for _, name := range []string{"pinsafe", "retirepub", "lockorder"} {
+		if n, ok := unit.Counts[name]; !ok || n != 0 {
+			t.Fatalf("counts[%s] = %d, %v; want an explicit 0", name, n, ok)
+		}
 	}
 }
 
@@ -253,6 +269,89 @@ func fresh(a, b float64) bool { return a != b }
 	out := strings.TrimSpace(stderr.String())
 	if strings.Count(out, "\n") != 0 || !strings.Contains(out, "!=") {
 		t.Fatalf("baseline filtering wrong; stderr: %q", out)
+	}
+}
+
+// TestBaselineCountsDuplicates pins the counted semantics of baseline
+// matching: an entry appearing N times suppresses at most N findings
+// with that (basename, message) key, so a baselined problem that
+// multiplies still surfaces the new occurrences.
+func TestBaselineCountsDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "lint.baseline")
+	content := "# two known copies of the same finding\n" +
+		"old/path/p.go:3:1: dup message\n" +
+		"p.go:9:1: dup message\n"
+	if err := os.WriteFile(baseline, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	known, err := readBaseline(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := known[baselineKey("p.go", "dup message")]; got != 2 {
+		t.Fatalf("baseline count = %d, want 2 (duplicates must not collapse)", got)
+	}
+
+	fset := token.NewFileSet()
+	f := fset.AddFile(filepath.Join(dir, "p.go"), -1, 100)
+	az := &Analyzer{Name: "fake"}
+	diag := func(off int, msg string) Diagnostic {
+		return Diagnostic{Pos: f.Pos(off), Message: msg, Analyzer: az.Name}
+	}
+	diags := map[string][]Diagnostic{az.Name: {
+		diag(1, "dup message"),
+		diag(2, "dup message"),
+		diag(3, "dup message"), // third copy: beyond the baselined count
+		diag(4, "fresh message"),
+	}}
+	applyBaseline(known, fset, []*Analyzer{az}, diags)
+	kept := diags[az.Name]
+	if len(kept) != 2 {
+		t.Fatalf("kept %d findings, want 2 (one dup over budget + one fresh): %v", len(kept), kept)
+	}
+	if kept[0].Message != "dup message" || kept[1].Message != "fresh message" {
+		t.Fatalf("kept the wrong findings: %v", kept)
+	}
+}
+
+// TestRunUnitBaselineDuplicateFindings drives the same semantics end to
+// end: two identical diagnostics in one file, one baseline entry — the
+// second occurrence must still be reported.
+func TestRunUnitBaselineDuplicateFindings(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	code := `package fixture
+
+func one(a, b float64) bool { return a == b }
+
+func two(a, b float64) bool { return a == b }
+`
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath, _ := writeUnitConfig(t, dir, []string{src}, false)
+
+	var stdout, stderr strings.Builder
+	if exit := runUnit(cfgPath, All(), false, "", &stdout, &stderr); exit != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", exit, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stderr.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 identical findings without baseline, got %q", stderr.String())
+	}
+
+	baseline := filepath.Join(dir, "lint.baseline")
+	if err := os.WriteFile(baseline, []byte(lines[0]+"\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if exit := runUnit(cfgPath, All(), false, baseline, &stdout, &stderr); exit != 1 {
+		t.Fatalf("exit = %d, want 1: only one of the two copies is baselined", exit)
+	}
+	if n := strings.Count(strings.TrimSpace(stderr.String()), "\n") + 1; n != 1 {
+		t.Fatalf("want exactly 1 surviving finding, got %d: %q", n, stderr.String())
 	}
 }
 

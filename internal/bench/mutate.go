@@ -108,7 +108,7 @@ func RunMutate(cfg Config, label string, churn int) (*MutateReport, error) {
 		}
 		tree = next
 		retired += int64(len(rets))
-		rec.Retire(rets)
+		rec.Retire(rets) //rstknn:allow retirepub single-goroutine bench harness: the tree is a local, nothing is published, no reader can pin
 	}
 	report.Rows = append(report.Rows, mutateRow("insert", len(objs)-half, start, &tracker, retired))
 
@@ -133,7 +133,7 @@ func RunMutate(cfg Config, label string, churn int) (*MutateReport, error) {
 		}
 		tree = next
 		retired += int64(len(rets))
-		rec.Retire(rets)
+		rec.Retire(rets) //rstknn:allow retirepub single-goroutine bench harness: the tree is a local, nothing is published, no reader can pin
 		delOps++
 
 		repl := iurtree.Object{
@@ -148,7 +148,7 @@ func RunMutate(cfg Config, label string, churn int) (*MutateReport, error) {
 		}
 		tree = next
 		retired += int64(len(rets))
-		rec.Retire(rets)
+		rec.Retire(rets) //rstknn:allow retirepub single-goroutine bench harness: the tree is a local, nothing is published, no reader can pin
 		insOps++
 		live[j] = repl
 	}

@@ -68,6 +68,7 @@ func (e *Engine) Insert(o Object) (*UpdateStats, error) {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	start := time.Now()
+	//rstknn:allow pinsafe writer path: holds writeMu, and only writeMu holders retire; the loaded snapshot cannot be reclaimed under the lock
 	cur := e.state.Load()
 	if _, dup := cur.byID[o.ID]; dup {
 		return nil, fmt.Errorf("rstknn: duplicate object ID %d", o.ID)
@@ -98,6 +99,7 @@ func (e *Engine) Delete(id int32) (bool, *UpdateStats, error) {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	start := time.Now()
+	//rstknn:allow pinsafe writer path: holds writeMu, and only writeMu holders retire; the loaded snapshot cannot be reclaimed under the lock
 	cur := e.state.Load()
 	if cur.tree.NumClusters() > 0 {
 		return false, nil, ErrClustered
@@ -136,6 +138,7 @@ func (e *Engine) Apply(b Batch) (*UpdateStats, error) {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	start := time.Now()
+	//rstknn:allow pinsafe writer path: holds writeMu, and only writeMu holders retire; the loaded snapshot cannot be reclaimed under the lock
 	cur := e.state.Load()
 	if cur.tree.NumClusters() > 0 {
 		return nil, ErrClustered

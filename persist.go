@@ -167,6 +167,7 @@ func Open(dir string) (*Engine, error) {
 	// The header blob is only needed to decode the snapshot; free its
 	// slot so the next Save's fresh header recycles it instead of
 	// leaking one slot per save/open cycle.
+	//rstknn:allow retirepub the store is private until Open returns: no snapshot pointer is published yet and no reader can hold a pin
 	fs.Retire(storage.NodeID(meta.HeaderID))
 	_ = fs.Free(storage.NodeID(meta.HeaderID)) //rstknn:allow errlost first free of a just-retired slot cannot fail
 	if meta.Options.NodeCache > 0 {
