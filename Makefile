@@ -6,7 +6,7 @@ LINT_TOOL     := $(or $(TMPDIR),/tmp)/rstknn-lint
 LINT_REPORT   ?= lint-report.json
 FUZZTIME      ?= 10s
 
-.PHONY: all build test race race-stress lint lint-json lint-selftest golangci fmt fuzz bench-baseline bench-mutate check clean
+.PHONY: all build test race race-stress lint lint-json lint-selftest golangci fmt fuzz bench-baseline bench-views bench-mutate check clean
 
 all: build
 
@@ -69,6 +69,7 @@ fmt:
 fuzz:
 	go test ./internal/vector/  -run '^$$' -fuzz FuzzVectorRoundTrip -fuzztime $(FUZZTIME)
 	go test ./internal/iurtree/ -run '^$$' -fuzz FuzzNodeRoundTrip   -fuzztime $(FUZZTIME)
+	go test ./internal/iurtree/ -run '^$$' -fuzz FuzzNodeView        -fuzztime $(FUZZTIME)
 	go test ./internal/textual/ -run '^$$' -fuzz FuzzTextualPersist  -fuzztime $(FUZZTIME)
 
 # Regenerate the checked-in benchmark-regression baseline. The seed and
@@ -77,6 +78,13 @@ fuzz:
 # JSON), allocs/op and nodes-read are comparable across machines.
 bench-baseline:
 	go run ./cmd/rstknn-bench -json baseline -seed 7 -scale 0.25 -queries 16 -workers 1,2,4,8 -benchiters 3
+
+# Regenerate BENCH_views.json, the zero-copy view + bound cache evidence
+# record: the same pinned workload as bench-baseline, so
+# `rstknn-bench -compare BENCH_baseline.json BENCH_views.json` shows the
+# allocation and wall-clock deltas row by row.
+bench-views:
+	go run ./cmd/rstknn-bench -json views -seed 7 -scale 0.25 -queries 16 -workers 1,2,4,8 -benchiters 3
 
 # Regenerate the copy-on-write mutation baseline (insert/delete write
 # amplification and reclamation footprint). Same pinning rules as

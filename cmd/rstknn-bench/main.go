@@ -23,6 +23,14 @@
 //
 //	rstknn-bench -mutate baseline -seed 7            # BENCH_baseline.json
 //	rstknn-bench -mutate pr42 -scale 0.1 -churn 500
+//
+// The -compare mode diffs two previously written scaling benchmarks and
+// exits non-zero when any cost metric (ns/op, allocs/op, bytes/op,
+// nodes-read) regressed by more than -threshold percent (default 10;
+// flags must precede the positional NEW.json):
+//
+//	rstknn-bench -compare BENCH_baseline.json BENCH_pr42.json
+//	rstknn-bench -compare BENCH_baseline.json -threshold 25 BENCH_pr42.json
 package main
 
 import (
@@ -64,9 +72,18 @@ func run(args []string, out io.Writer) error {
 
 		mutateLabel = fs.String("mutate", "", "write the copy-on-write mutation benchmark to BENCH_<label>.json instead of running experiments")
 		mutateOps   = fs.Int("churn", 0, "steady-state delete+insert rounds in -mutate mode (0 = dataset size)")
+
+		comparePath = fs.String("compare", "", "compare two scaling benchmarks: -compare OLD.json NEW.json prints per-row deltas and exits non-zero on regressions past -threshold")
+		threshold   = fs.Float64("threshold", 10, "regression threshold in percent for -compare")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *comparePath != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-compare needs exactly two files: -compare OLD.json NEW.json")
+		}
+		return runCompare(out, *comparePath, fs.Arg(0), *threshold)
 	}
 	if *list {
 		for _, e := range bench.Experiments {
@@ -140,6 +157,30 @@ func runJSON(cfg bench.Config, out io.Writer, label, dir, workerList string, ite
 			r.Workers, r.NsPerOp, r.AllocsPerOp, r.NodesRead, r.Speedup)
 	}
 	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// runCompare diffs two BENCH json files and fails on regressions past
+// the threshold (in percent).
+func runCompare(out io.Writer, oldPath, newPath string, thresholdPct float64) error {
+	oldB, err := bench.ReadBaselineFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := bench.ReadBaselineFile(newPath)
+	if err != nil {
+		return err
+	}
+	cmp, err := bench.Compare(oldB, newB, thresholdPct)
+	if err != nil {
+		return err
+	}
+	cmp.Render(out)
+	if len(cmp.Regressions) > 0 {
+		return fmt.Errorf("%d metric(s) regressed more than %g%%:\n  %s",
+			len(cmp.Regressions), thresholdPct, strings.Join(cmp.Regressions, "\n  "))
+	}
+	fmt.Fprintf(out, "no regressions past %g%%\n", thresholdPct)
 	return nil
 }
 

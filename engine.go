@@ -152,6 +152,12 @@ func Build(objects []Object, opt Options) (*Engine, error) {
 	if resolved.NodeCache > 0 {
 		tree.SetNodeCache(resolved.NodeCache)
 	}
+	if resolved.BoundCache != 0 {
+		// 0 keeps the default-on cache; negative disables, positive
+		// resizes. Done before the first query so sizing never races a
+		// concurrent reader.
+		tree.SetBoundCache(resolved.BoundCache)
+	}
 	e.rec = storage.NewReclaimer(e.store)
 	// Successor snapshots share the decoded-node cache with the first
 	// one, so evicting through it covers every version.
@@ -192,11 +198,18 @@ type IndexStats struct {
 	// PendingReclaim is the number of retired nodes still waiting for
 	// pinned readers to finish.
 	PendingReclaim int
-	Clusters       int // 0 for IUR
-	BuildTime      time.Duration
-	VocabSize      int
-	Kind           IndexKind
-	MaxDistance    float64
+	// BoundCacheHits/Misses/Entries describe the textual bound cache of
+	// the zero-copy read path (see Options.BoundCache). Hits re-decode
+	// nothing but still pay full simulated I/O, so they appear nowhere
+	// in the I/O counters.
+	BoundCacheHits    int64
+	BoundCacheMisses  int64
+	BoundCacheEntries int
+	Clusters          int // 0 for IUR
+	BuildTime         time.Duration
+	VocabSize         int
+	Kind              IndexKind
+	MaxDistance       float64
 }
 
 // Stats returns the index statistics.
@@ -204,7 +217,7 @@ func (e *Engine) Stats() IndexStats {
 	st, release := e.pin()
 	defer release()
 	ioStats := e.store.Stats()
-	return IndexStats{
+	out := IndexStats{
 		Objects:        st.tree.Len(),
 		Height:         st.tree.Height(),
 		Nodes:          int64(e.store.Len()),
@@ -221,6 +234,11 @@ func (e *Engine) Stats() IndexStats {
 		Kind:           e.opt.Index,
 		MaxDistance:    st.tree.MaxD(),
 	}
+	bc := st.tree.BoundCacheStats()
+	out.BoundCacheHits = bc.Hits
+	out.BoundCacheMisses = bc.Misses
+	out.BoundCacheEntries = bc.Entries
+	return out
 }
 
 // Alpha returns the engine's spatial/textual weight.

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testBaseline(label string, rows []BaselineRow) *Baseline {
+	return &Baseline{
+		Label:  label,
+		Schema: 1,
+		Workload: BaselineWorkload{
+			Profile: "gn", Objects: 2500, Queries: 16,
+			K: 10, Alpha: 0.5, Seed: 7, Iters: 3,
+		},
+		Rows: rows,
+	}
+}
+
+func TestCompareDeltasAndRegressions(t *testing.T) {
+	oldB := testBaseline("old", []BaselineRow{
+		{Workers: 1, NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 10000, NodesRead: 50},
+		{Workers: 2, NsPerOp: 900, AllocsPerOp: 100, BytesPerOp: 10000, NodesRead: 50},
+	})
+	newB := testBaseline("new", []BaselineRow{
+		{Workers: 1, NsPerOp: 1200, AllocsPerOp: 50, BytesPerOp: 10000, NodesRead: 50},
+		{Workers: 2, NsPerOp: 900, AllocsPerOp: 50, BytesPerOp: 10000, NodesRead: 50},
+	})
+	// Iters may differ between records; only the workload itself gates.
+	newB.Workload.Iters = 1
+
+	cmp, err := Compare(oldB, newB, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(cmp.Rows))
+	}
+	m := cmp.Rows[0].Metrics[0] // workers=1 ns/op: 1000 -> 1200
+	if m.Name != "ns/op" || m.DeltaPct != 20 || !m.Regressed {
+		t.Errorf("ns/op metric = %+v, want +20%% regressed", m)
+	}
+	a := cmp.Rows[0].Metrics[1] // allocs/op: 100 -> 50, an improvement
+	if a.DeltaPct != -50 || a.Regressed {
+		t.Errorf("allocs/op metric = %+v, want -50%% not regressed", a)
+	}
+	if len(cmp.Regressions) != 1 || !strings.Contains(cmp.Regressions[0], "workers=1 ns/op") {
+		t.Errorf("regressions = %v, want exactly the workers=1 ns/op entry", cmp.Regressions)
+	}
+
+	var sb strings.Builder
+	cmp.Render(&sb)
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("render output lacks REGRESSED marker:\n%s", sb.String())
+	}
+}
+
+func TestCompareRejectsWorkloadMismatch(t *testing.T) {
+	oldB := testBaseline("old", []BaselineRow{{Workers: 1, NsPerOp: 1}})
+	newB := testBaseline("new", []BaselineRow{{Workers: 1, NsPerOp: 1}})
+	newB.Workload.Seed = 8
+	if _, err := Compare(oldB, newB, 10); err == nil {
+		t.Fatal("Compare accepted baselines from different workloads")
+	}
+}
+
+func TestCompareRejectsDisjointWorkers(t *testing.T) {
+	oldB := testBaseline("old", []BaselineRow{{Workers: 1, NsPerOp: 1}})
+	newB := testBaseline("new", []BaselineRow{{Workers: 4, NsPerOp: 1}})
+	if _, err := Compare(oldB, newB, 10); err == nil {
+		t.Fatal("Compare accepted baselines with no common worker count")
+	}
+}
+
+func TestReadBaselineFileRoundTrip(t *testing.T) {
+	b := testBaseline("rt", []BaselineRow{{Workers: 1, NsPerOp: 42, NodesRead: 7.5}})
+	path := filepath.Join(t.TempDir(), "BENCH_rt.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "rt" || len(got.Rows) != 1 || got.Rows[0].NsPerOp != 42 || got.Rows[0].NodesRead != 7.5 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+}

@@ -78,6 +78,10 @@ func RunMutate(cfg Config, label string, churn int) (*MutateReport, error) {
 		return nil, err
 	}
 	rec := storage.NewReclaimer(store)
+	// The default-on bound cache keys by NodeID; freed slots are recycled
+	// by later inserts, so eviction-on-free is required for correctness,
+	// exactly as the engine wires it.
+	rec.SetOnFree(tree.InvalidateNode)
 
 	report := &MutateReport{
 		Label:  label,

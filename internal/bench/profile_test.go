@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+
+	"rstknn/internal/core"
+	"rstknn/internal/storage"
+)
+
+// BenchmarkPinnedWorkload runs the BENCH_baseline.json workload as a Go
+// benchmark so the standard -benchmem/-memprofile tooling can attribute
+// the query path's allocations (the JSON baseline only records totals).
+func BenchmarkPinnedWorkload(b *testing.B) {
+	cfg := Config{Scale: 0.25, Queries: 16, Seed: 7}.withDefaults()
+	col, queries := fixture(cfg, defaultN/2)
+	methods, err := buildMethods(col.Objects, []method{treeMethods[0]}, cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm := &methods[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			var tracker storage.Tracker
+			_, err := core.RSTkNN(bm.tree, core.Query{Loc: q.Loc, Doc: q.Doc}, core.Options{
+				K: defaultK, Alpha: defaultAlpha, Strategy: bm.strategy,
+				Workers: 1, Tracker: &tracker,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

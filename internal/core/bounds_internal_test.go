@@ -202,7 +202,7 @@ func TestReplacePreservesOthers(t *testing.T) {
 		return contributor{entry: iurtree.Entry{ObjID: id, Child: storage.InvalidNode}}
 	}
 	cl.contributors = []contributor{mk(0), mk(1), mk(2)}
-	cl.replace(1, []contributor{mk(10), mk(11)})
+	cl.replace(nil, 1, []contributor{mk(10), mk(11)})
 	ids := map[int32]bool{}
 	for _, c := range cl.contributors {
 		ids[c.entry.ObjID] = true

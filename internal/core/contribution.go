@@ -227,10 +227,21 @@ func (cl *contributionList) refinable(strategy RefineStrategy, numClusters int, 
 }
 
 // replace substitutes the contributor at index i with the given
-// replacements (its children, with candidate-relative bounds).
-func (cl *contributionList) replace(i int, repl []contributor) {
+// replacements (its children, with candidate-relative bounds). When the
+// grown list no longer fits its arena carve the list is moved to a fresh
+// carve with geometric headroom instead of letting append spill to the
+// heap: refinement calls replace hundreds of times per query, and the
+// spilled copies used to dominate the whole query's allocation profile.
+//
+//rstknn:hotpath one call per contributor refinement
+func (cl *contributionList) replace(sc *scratch, i int, repl []contributor) {
 	last := len(cl.contributors) - 1
 	cl.contributors[i] = cl.contributors[last]
 	cl.contributors = cl.contributors[:last]
+	if need := last + len(repl); need > cap(cl.contributors) {
+		grown := allocContribs(sc, need, need/2)
+		grown = append(grown, cl.contributors...)
+		cl.contributors = grown
+	}
 	cl.contributors = append(cl.contributors, repl...)
 }

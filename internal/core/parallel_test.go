@@ -63,6 +63,55 @@ func TestBichromaticParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestBoundCacheMatchesEagerDecode pins the zero-copy read path's
+// equivalence ablation: with the bound cache disabled every node visit
+// decodes eagerly, and the outcome — result IDs, Metrics, and
+// bit-identical per-object kNN bounds — must not change, sequentially or
+// across the worker pool. (Simulated I/O parity is inherent: bound cache
+// hits never skip the page charge, see Metrics.NodesRead equality.)
+func TestBoundCacheMatchesEagerDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, clusters := range []int{0, 6} {
+		objs := genObjects(rng, 220, 40, 6)
+		tree := buildTree(t, objs, clusters, false)
+		for trial := 0; trial < 3; trial++ {
+			k := []int{1, 3, 10}[rng.Intn(3)]
+			q := genQuery(rng, 40, 6)
+			run := func(workers int) (*core.Outcome, *boundRecorder) {
+				rec := newBoundRecorder()
+				out, err := core.RSTkNN(tree, q, core.Options{
+					K: k, Alpha: 0.5, Workers: workers, BoundTrace: rec.trace,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out, rec
+			}
+			cached, cachedRec := run(1)
+			cachedPar, _ := run(4)
+			tree.SetBoundCache(0)
+			eager, eagerRec := run(1)
+			tree.SetBoundCache(iurtree.DefaultBoundCacheNodes)
+
+			tag := fmt.Sprintf("clusters=%d trial=%d k=%d", clusters, trial, k)
+			if !idsEqual(cached.Results, eager.Results) || !idsEqual(cachedPar.Results, eager.Results) {
+				t.Errorf("%s: results differ between cached and eager decode", tag)
+			}
+			if cached.Metrics != eager.Metrics {
+				t.Errorf("%s: metrics %+v != eager %+v", tag, cached.Metrics, eager.Metrics)
+			}
+			if len(cachedRec.bounds) != len(eagerRec.bounds) {
+				t.Errorf("%s: %d verdicts != eager %d", tag, len(cachedRec.bounds), len(eagerRec.bounds))
+			}
+			for id, want := range eagerRec.bounds {
+				if got, ok := cachedRec.bounds[id]; !ok || got != want {
+					t.Errorf("%s: object %d bounds %v != eager %v", tag, id, got, want)
+				}
+			}
+		}
+	}
+}
+
 // TestParallelMatchesSequential is the determinism property test for the
 // intra-query parallel engine: for random datasets across tree variants,
 // refinement strategies, k, and alpha, the parallel search at every

@@ -69,9 +69,11 @@ type Options struct {
 	// is processed in rounds, fanning the per-candidate work (bound
 	// tightening, hit/prune decisions, node reads) across this many
 	// goroutines. Values <= 0 default to runtime.GOMAXPROCS(0); 1 runs
-	// the classic sequential best-first loop. Every verdict depends only
-	// on the candidate's own contribution list, so results and Metrics
-	// are identical at every worker count.
+	// the classic sequential best-first loop; values above GOMAXPROCS
+	// are clamped to it (idle goroutines on a saturated CPU only add
+	// scheduling overhead). Every verdict depends only on the
+	// candidate's own contribution list, so results and Metrics are
+	// identical at every worker count.
 	Workers int
 	// BoundTrace, when non-nil, is invoked with the final kNN bounds of
 	// every object-level candidate the moment it is decided. It exists
@@ -98,9 +100,14 @@ func checkCtx(ctx context.Context) error {
 }
 
 // effectiveWorkers resolves the Workers option to a concrete pool size.
+// Requests beyond runtime.GOMAXPROCS(0) are clamped: with every CPU
+// already saturated an extra goroutine can only add scheduling overhead,
+// never speedup — the pinned 1-CPU baseline measured Workers=2 at 0.93x
+// sequential before the clamp. Results are identical either way.
 func effectiveWorkers(w int) int {
-	if w <= 0 {
-		return runtime.GOMAXPROCS(0)
+	mp := runtime.GOMAXPROCS(0)
+	if w <= 0 || w > mp {
+		return mp
 	}
 	return w
 }
@@ -253,16 +260,27 @@ func (w *worker) close() {
 	w.scratch = nil
 }
 
-func (w *worker) readNode(id storage.NodeID) (*iurtree.Node, error) {
+// readView fetches a node through the zero-copy view path: same
+// simulated I/O and cancellation semantics as an eager read, but no
+// *Node materialization — fixed entry fields come straight from the page
+// bytes and the textual payload from the snapshot's bound cache. Pair
+// every successful read with doneView to recycle the offset buffer.
+func (w *worker) readView(id storage.NodeID) (iurtree.NodeView, error) {
 	if err := checkCtx(w.s.opt.Ctx); err != nil {
-		return nil, err
+		return iurtree.NodeView{}, err
 	}
-	n, err := w.s.tree.ReadNodeTracked(id, w.s.opt.Tracker)
+	v, err := w.s.tree.ReadViewTracked(id, w.s.opt.Tracker, w.scratch.getViewBuf())
 	if err != nil {
-		return nil, err
+		return iurtree.NodeView{}, err
 	}
 	w.metrics.NodesRead++
-	return n, nil
+	return v, nil
+}
+
+// doneView recycles a view's offset buffer once no accessor will be
+// called on it again.
+func (w *worker) doneView(v *iurtree.NodeView) {
+	w.scratch.putViewBuf(v.RecycleBuf())
 }
 
 // run seeds the frontier with the root's children and drains it.
@@ -272,13 +290,14 @@ func (s *searcher) run(q *Query) error {
 	if root.Count == 1 {
 		// A single object: it has no neighbors, so the k-th NN similarity
 		// is -Inf and the object is always a result.
-		n, err := w0.readNode(root.Child)
+		v, err := w0.readView(root.Child)
 		if err != nil {
 			w0.close()
 			return err
 		}
 		w0.metrics.Candidates++
-		w0.results = append(w0.results, n.Entries[0].ObjID)
+		w0.results = append(w0.results, v.EntryObjID(0))
+		w0.doneView(&v)
 		w0.close()
 		return nil
 	}
@@ -286,11 +305,13 @@ func (s *searcher) run(q *Query) error {
 	// Seed: the root's children, every cluster group undecided, each
 	// child contributing to the others. The pseudo parent groups carry
 	// empty contribution lists.
-	rootNode, err := w0.readNode(root.Child)
+	rootView, err := w0.readView(root.Child)
 	if err != nil {
 		w0.close()
 		return err
 	}
+	rootEntries := rootView.AppendEntries(w0.scratch.entries[:0])
+	w0.doneView(&rootView)
 	seeds := make([]*group, 0, len(root.Clusters)+1)
 	if s.tree.Clustered() && len(root.Clusters) > 0 {
 		for _, cs := range root.Clusters {
@@ -299,7 +320,8 @@ func (s *searcher) run(q *Query) error {
 	} else {
 		seeds = append(seeds, &group{cluster: -1})
 	}
-	first := w0.buildChildren(&root, rootNode.Entries, seeds, q)
+	first := w0.buildChildren(&root, rootEntries, seeds, q)
+	w0.scratch.entries = rootEntries[:0]
 
 	if s.workers == 1 {
 		err = s.runSequential(w0, first, q)
@@ -329,6 +351,13 @@ func (s *searcher) runSequential(w *worker, first []queued, q *Query) error {
 	return nil
 }
 
+// minFanoutRound is the smallest frontier size a round fans out across
+// the worker pool; smaller rounds run inline on worker 0. The tail of a
+// search is many rounds of a handful of candidates each, and paying a
+// goroutine spawn plus a barrier per tiny round is why the pinned
+// baseline showed Workers=2 running 0.93x sequential on a 1-CPU machine.
+const minFanoutRound = 8
+
 // runRounds is the intra-query parallel engine: the whole frontier is
 // processed per round, with candidates fanned across the worker pool.
 // Every group's verdict depends only on its own contribution list — never
@@ -356,9 +385,14 @@ func (s *searcher) runRounds(w0 *worker, first []queued, q *Query) error {
 	for len(round) > 0 && firstErr == nil {
 		children := make([][]queued, len(round))
 		errs := make([]error, len(round))
-		if len(round) == 1 {
-			// Degenerate round: skip the fan-out machinery.
-			children[0], errs[0] = ws[0].process(round[0].c, q)
+		if len(round) < minFanoutRound {
+			// Small frontier: goroutine spawn plus the round barrier cost
+			// more than the candidates' work, so run them inline on
+			// worker 0. Verdicts depend only on each candidate's own
+			// contribution list, so this changes wall-clock only.
+			for j := range round {
+				children[j], errs[j] = ws[0].process(round[j].c, q)
+			}
 		} else {
 			var next atomic.Int64
 			var wg sync.WaitGroup
@@ -535,11 +569,15 @@ func (w *worker) process(c *candidate, q *Query) ([]queued, error) {
 	if len(pending) == 0 {
 		return nil, nil
 	}
-	node, err := w.readNode(c.entry.Child)
+	v, err := w.readView(c.entry.Child)
 	if err != nil {
 		return nil, err
 	}
-	return w.buildChildren(&c.entry, node.Entries, pending, q), nil
+	children := v.AppendEntries(w.scratch.entries[:0])
+	w.doneView(&v)
+	out := w.buildChildren(&c.entry, children, pending, q)
+	w.scratch.entries = children[:0]
+	return out, nil
 }
 
 // decideGroup evaluates one group against the two pruning rules,
@@ -627,20 +665,23 @@ func (w *worker) reboundStale(gSide side, cl *contributionList) bool {
 // the group. The replacement buffer is scratch-owned: replace() copies it
 // into the contribution list, so it is reusable immediately.
 func (w *worker) refine(gSide side, cl *contributionList, idx int) error {
-	node, err := w.readNode(cl.contributors[idx].entry.Child)
+	v, err := w.readView(cl.contributors[idx].entry.Child)
 	if err != nil {
 		return err
 	}
 	w.metrics.Refinements++
+	children := v.AppendEntries(w.scratch.entries[:0])
+	w.doneView(&v)
 	repl := w.scratch.repl[:0]
-	for i := range node.Entries {
+	for i := range children {
 		repl = append(repl, contributor{
-			entry: node.Entries[i],
-			parts: w.scorer.entryBoundsInto(w.scratch, gSide, &node.Entries[i]),
+			entry: children[i],
+			parts: w.scorer.entryBoundsInto(w.scratch, gSide, &children[i]),
 		})
 	}
-	cl.replace(idx, repl)
+	cl.replace(w.scratch, idx, repl)
 	w.scratch.repl = repl[:0]
+	w.scratch.entries = children[:0]
 	return nil
 }
 
@@ -652,28 +693,42 @@ func (w *worker) collect(e *iurtree.Entry, cluster int32) error {
 		w.results = append(w.results, e.ObjID)
 		return nil
 	}
-	node, err := w.readNode(e.Child)
+	return w.collectNode(e.Child, cluster)
+}
+
+// collectNode is collect below one node, via views: object IDs are read
+// straight off the page bytes, and only entries passing the cluster
+// filter recurse. The parent's view stays live across the recursion,
+// which is why the scratch keeps a stack of offset buffers.
+func (w *worker) collectNode(id storage.NodeID, cluster int32) error {
+	v, err := w.readView(id)
 	if err != nil {
 		return err
 	}
-	for i := range node.Entries {
-		child := &node.Entries[i]
-		if cluster >= 0 && clusterCount(child, cluster) == 0 {
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		if cluster >= 0 && clusterCountIn(v.EntryClusters(i), cluster) == 0 {
 			continue
 		}
-		if err := w.collect(child, cluster); err != nil {
+		if v.EntryIsObject(i) {
+			w.results = append(w.results, v.EntryObjID(i))
+			continue
+		}
+		if err := w.collectNode(v.EntryChild(i), cluster); err != nil {
+			w.doneView(&v)
 			return err
 		}
 	}
+	w.doneView(&v)
 	return nil
 }
 
-// clusterCount returns the number of objects of the given cluster below
-// the entry.
-func clusterCount(e *iurtree.Entry, cluster int32) int32 {
-	for i := range e.Clusters {
-		if e.Clusters[i].Cluster == cluster {
-			return e.Clusters[i].Count
+// clusterCountIn returns the number of objects of the given cluster
+// among the summaries.
+func clusterCountIn(clusters []iurtree.ClusterSummary, cluster int32) int32 {
+	for i := range clusters {
+		if clusters[i].Cluster == cluster {
+			return clusters[i].Count
 		}
 	}
 	return 0

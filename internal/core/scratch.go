@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"rstknn/internal/iurtree"
+)
 
 // The branch-and-bound hot path evaluates bounds for every (candidate,
 // contributor) pair it touches; done naively that is one short-lived
@@ -101,6 +105,15 @@ type scratch struct {
 	repl []contributor
 	// sibParts is the transient per-expansion sibling-bounds buffer.
 	sibParts [][]part
+	// entries is the transient entry-materialization buffer of the
+	// zero-copy read path: expansion and refinement fill it from a
+	// NodeView, and everything downstream copies the Entry values it
+	// needs, so the buffer is reusable as soon as the call returns.
+	entries []iurtree.Entry
+	// viewBufs stacks recycled NodeView offset tables. A stack (not a
+	// single buffer) because collect() recurses with the parent's view
+	// still live; depth never exceeds the tree height.
+	viewBufs [][]int32
 }
 
 var scratchPool = sync.Pool{New: func() any {
@@ -123,7 +136,29 @@ func (s *scratch) release() {
 	s.repl = s.repl[:0]
 	clear(s.sibParts)
 	s.sibParts = s.sibParts[:0]
+	clear(s.entries)
+	s.entries = s.entries[:0]
+	// viewBufs hold only int32 offsets — no references to retain — and
+	// stay warm across queries.
 	scratchPool.Put(s)
+}
+
+// getViewBuf pops a recycled offset buffer for a NodeView, or returns
+// nil (ReadViewTracked then grows a fresh one that putViewBuf captures).
+func (s *scratch) getViewBuf() []int32 {
+	if n := len(s.viewBufs); n > 0 {
+		b := s.viewBufs[n-1]
+		s.viewBufs = s.viewBufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putViewBuf returns a finished view's offset buffer to the stack.
+func (s *scratch) putViewBuf(b []int32) {
+	if b != nil {
+		s.viewBufs = append(s.viewBufs, b)
+	}
 }
 
 // allocParts carves a part slice from the scratch arena, or falls back to

@@ -212,10 +212,9 @@ func decodeNode(buf []byte) (*Node, error) {
 	n := &Node{Leaf: buf[0] == 1}
 	count := int(binary.LittleEndian.Uint16(buf[1:]))
 	off := 3
-	// An entry is at least rect (32) + IDs and count (12) + envelope
-	// shape (1) + cluster count (2) bytes; reject impossible entry
+	// An entry is at least entryFixedSize bytes; reject impossible entry
 	// counts before allocating for them.
-	if len(buf)-off < count*47 {
+	if len(buf)-off < count*entryFixedSize {
 		return nil, fmt.Errorf("entry count %d exceeds blob size", count)
 	}
 	n.Entries = make([]Entry, count)
@@ -265,7 +264,7 @@ func Open(store storage.Blobs, headerID storage.NodeID) (*Snapshot, error) {
 	if len(buf) < off+16 {
 		return nil, fmt.Errorf("iurtree: truncated header")
 	}
-	t := &Snapshot{store: store}
+	t := &Snapshot{store: store, boundCache: newBoundCache(DefaultBoundCacheNodes)}
 	t.rootID = storage.NodeID(binary.LittleEndian.Uint32(buf[off:]))
 	t.size = int(int32(binary.LittleEndian.Uint32(buf[off+4:])))
 	t.height = int(int32(binary.LittleEndian.Uint32(buf[off+8:])))

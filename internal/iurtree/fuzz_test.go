@@ -42,6 +42,75 @@ func FuzzNodeRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzNodeView drives the zero-copy view parser with arbitrary bytes
+// against the eager decoder as the oracle. The lazy path splits
+// validation in two — parseNodeView checks structure, decodeNodeText
+// (the bound-cache fill) checks vector semantics — so the contract is:
+// any blob decodeNode accepts must pass both stages with every accessor
+// agreeing with the decoded node, and any blob decodeNode rejects must
+// fail at least one stage. Nothing may panic either way.
+func FuzzNodeView(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, decErr := decodeNode(data)
+		leaf, offs, viewErr := parseNodeView(data, nil)
+		if decErr != nil {
+			if viewErr == nil {
+				if _, err := decodeNodeText(data); err == nil {
+					t.Fatalf("lazy path accepts a blob decodeNode rejects (%v)\nblob: %x", decErr, data)
+				}
+			}
+			return
+		}
+		if viewErr != nil {
+			t.Fatalf("parseNodeView rejects a blob decodeNode accepts: %v\nblob: %x", viewErr, data)
+		}
+		text, err := decodeNodeText(data)
+		if err != nil {
+			t.Fatalf("decodeNodeText rejects a blob decodeNode accepts: %v\nblob: %x", err, data)
+		}
+		v := NodeView{id: 1, blob: data, offs: offs, text: text, leaf: leaf}
+		if v.Leaf() != n.Leaf || v.Len() != len(n.Entries) {
+			t.Fatalf("view shape (leaf %v, %d entries) != node (leaf %v, %d entries)",
+				v.Leaf(), v.Len(), n.Leaf, len(n.Entries))
+		}
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			if got := v.EntryRect(i); got != e.Rect {
+				t.Fatalf("entry %d rect %v != %v", i, got, e.Rect)
+			}
+			if v.EntryChild(i) != e.Child || v.EntryObjID(i) != e.ObjID || v.EntryCount(i) != e.Count {
+				t.Fatalf("entry %d fixed fields (%d,%d,%d) != (%d,%d,%d)", i,
+					v.EntryChild(i), v.EntryObjID(i), v.EntryCount(i), e.Child, e.ObjID, e.Count)
+			}
+			if v.EntryIsObject(i) != e.IsObject() {
+				t.Fatalf("entry %d IsObject mismatch", i)
+			}
+			env := v.EntryEnv(i)
+			if !env.Int.Equal(e.Env.Int) || !env.Uni.Equal(e.Env.Uni) {
+				t.Fatalf("entry %d envelope mismatch", i)
+			}
+			cls := v.EntryClusters(i)
+			if len(cls) != len(e.Clusters) {
+				t.Fatalf("entry %d has %d cluster summaries, want %d", i, len(cls), len(e.Clusters))
+			}
+			for j := range cls {
+				want := &e.Clusters[j]
+				if cls[j].Cluster != want.Cluster || cls[j].Count != want.Count ||
+					!cls[j].Env.Int.Equal(want.Env.Int) || !cls[j].Env.Uni.Equal(want.Env.Uni) {
+					t.Fatalf("entry %d cluster %d mismatch", i, j)
+				}
+			}
+			full := v.Entry(i)
+			if full.Rect != e.Rect || full.Child != e.Child || full.ObjID != e.ObjID || full.Count != e.Count {
+				t.Fatalf("entry %d materialized Entry mismatch", i)
+			}
+		}
+	})
+}
+
 // TestWriteNodeFuzzCorpus regenerates the checked-in seed corpus from the
 // nodes of a real built tree. Run with RSTKNN_WRITE_CORPUS=1 to refresh.
 func TestWriteNodeFuzzCorpus(t *testing.T) {
@@ -77,15 +146,19 @@ func TestWriteNodeFuzzCorpus(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	dir := filepath.Join("testdata", "fuzz", "FuzzNodeRoundTrip")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	for i, seed := range seeds {
-		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
-		name := filepath.Join(dir, "seed-"+strconv.Itoa(i))
-		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+	// The same real-tree blobs seed both node fuzzers: the codec
+	// round-trip and the view-vs-decode equivalence check.
+	for _, target := range []string{"FuzzNodeRoundTrip", "FuzzNodeView"} {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+			name := filepath.Join(dir, "seed-"+strconv.Itoa(i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 }

@@ -122,8 +122,9 @@ type Snapshot struct {
 	size        int
 	space       geom.Rect
 	maxD        float64
-	numClusters int        // 0 for plain IUR-trees
-	nodeCache   *nodeCache // nil unless SetNodeCache enabled it
+	numClusters int         // 0 for plain IUR-trees
+	nodeCache   *nodeCache  // nil unless SetNodeCache enabled it
+	boundCache  *boundCache // textual bound cache; on by default, see SetBoundCache
 }
 
 // Build constructs the tree over the given objects and seals it to disk.
@@ -169,9 +170,10 @@ func Build(objects []Object, cfg Config) (*Snapshot, error) {
 	}
 
 	t := &Snapshot{
-		store:  cfg.Store,
-		height: rt.Height(),
-		size:   len(objects),
+		store:      cfg.Store,
+		height:     rt.Height(),
+		size:       len(objects),
+		boundCache: newBoundCache(DefaultBoundCacheNodes),
 	}
 	clusterOf := func(id int32) int32 { return 0 }
 	if cfg.Clustering != nil {
@@ -306,6 +308,57 @@ func (t *Snapshot) ReadNodeTracked(id storage.NodeID, tr *storage.Tracker) (*Nod
 	return n, nil
 }
 
+// ReadViewTracked fetches the node stored under id and returns a
+// zero-copy NodeView over its page bytes, charging the same simulated
+// I/O as ReadNodeTracked: a bound-cache hit saves only the decode work,
+// never a page access, so traversal cost accounting is identical to the
+// eager path. offs is an optional offset buffer to reuse (grown when too
+// small; recover it with NodeView.RecycleBuf).
+//
+// The view aliases the stored blob. It is valid for as long as the
+// caller can rely on the node not being freed — for queries, the
+// lifetime of the snapshot pin. When the decoded-node cache is enabled
+// and hits, the view is backed by the cached decode instead and the read
+// is charged as a cache hit, exactly like ReadNodeTracked.
+func (t *Snapshot) ReadViewTracked(id storage.NodeID, tr *storage.Tracker, offs []int32) (NodeView, error) {
+	if t.nodeCache != nil {
+		if n, ok := t.nodeCache.get(id); ok {
+			tr.ChargeCacheHit()
+			return NodeView{id: id, node: n, offs: offs}, nil
+		}
+	}
+	blob, err := t.store.GetTracked(id, tr)
+	if err != nil {
+		return NodeView{offs: offs}, err
+	}
+	leaf, offs, err := parseNodeView(blob, offs)
+	if err != nil {
+		return NodeView{offs: offs}, fmt.Errorf("iurtree: node %d: %w", id, err)
+	}
+	var text *nodeText
+	if t.boundCache != nil {
+		text, _ = t.boundCache.get(id)
+	}
+	if text == nil {
+		// First touch (or cache disabled): run the full decode — which
+		// also performs the semantic vector validation parseNodeView
+		// skips — and remember its textual payload.
+		n, err := decodeNode(blob)
+		if err != nil {
+			return NodeView{offs: offs}, fmt.Errorf("iurtree: node %d: %w", id, err)
+		}
+		n.ID = id
+		text = newNodeText(n)
+		if t.boundCache != nil {
+			t.boundCache.put(id, text)
+		}
+		if t.nodeCache != nil {
+			t.nodeCache.put(id, n)
+		}
+	}
+	return NodeView{id: id, blob: blob, offs: offs, text: text, leaf: leaf}, nil
+}
+
 // readNodeFresh fetches and decodes a private copy of the node, bypassing
 // the decoded-node cache in both directions. The update paths use it so
 // the entry slices they edit before re-encoding are never shared with
@@ -341,13 +394,58 @@ func (t *Snapshot) SetNodeCache(capacity int) {
 	t.nodeCache = newNodeCache(capacity)
 }
 
-// InvalidateNode drops one node from the decoded-node cache (shared by
-// every snapshot derived from this one). The engine calls it from the
-// reclaimer's on-free hook, so a recycled NodeID can never serve a stale
-// decode; a snapshot without a cache ignores the call.
+// SetBoundCache resizes (capacity > 0) or disables (capacity <= 0) the
+// textual bound cache: a per-NodeID memoization of decoded envelopes and
+// cluster summaries that the zero-copy read path (ReadViewTracked)
+// shares across queries and rounds. Build and Open enable it at
+// DefaultBoundCacheNodes. Unlike the decoded-node cache, hits never skip
+// the simulated page I/O, so results AND I/O counts are identical with
+// the cache on or off — disabling it only restores the eager per-read
+// decode (the DESIGN.md §10 ablation).
+//
+// Call it before the snapshot serves queries or derives successors: the
+// cache pointer is shared with derived snapshots at derive() time, and
+// the reclaimer's eviction hook only reaches caches installed on the
+// snapshot the hook was bound to.
+func (t *Snapshot) SetBoundCache(capacity int) {
+	if capacity <= 0 {
+		t.boundCache = nil
+		return
+	}
+	t.boundCache = newBoundCache(capacity)
+}
+
+// BoundCacheStats reports the bound cache's cumulative hit/miss counters
+// and current size (zero values when the cache is disabled).
+type BoundCacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// BoundCacheStats returns the current bound-cache statistics.
+func (t *Snapshot) BoundCacheStats() BoundCacheStats {
+	if t.boundCache == nil {
+		return BoundCacheStats{}
+	}
+	return BoundCacheStats{
+		Hits:    t.boundCache.hits.Load(),
+		Misses:  t.boundCache.misses.Load(),
+		Entries: t.boundCache.entries(),
+	}
+}
+
+// InvalidateNode drops one node from the decoded-node cache and the
+// bound cache (both shared by every snapshot derived from this one). The
+// engine calls it from the reclaimer's on-free hook, so a recycled
+// NodeID can never serve a stale decode; a snapshot without caches
+// ignores the call.
 func (t *Snapshot) InvalidateNode(id storage.NodeID) {
 	if t.nodeCache != nil {
 		t.nodeCache.invalidate(id)
+	}
+	if t.boundCache != nil {
+		t.boundCache.invalidate(id)
 	}
 }
 

@@ -40,8 +40,10 @@ import (
 // ErrClustered is returned by Insert/Delete on CIUR-trees.
 var ErrClustered = errors.New("iurtree: clustered trees are sealed; rebuild to update")
 
-// derive returns a copy of the snapshot header sharing the store and
-// decoded-node cache; the update paths overwrite the fields they change.
+// derive returns a copy of the snapshot header sharing the store, the
+// decoded-node cache, and the bound cache; the update paths overwrite
+// the fields they change. Sharing the caches is what lets the on-free
+// eviction hook installed on the first snapshot cover every successor.
 func (t *Snapshot) derive() *Snapshot {
 	cp := *t
 	return &cp

@@ -1,0 +1,154 @@
+package iurtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"rstknn/internal/cluster"
+	"rstknn/internal/storage"
+	"rstknn/internal/vector"
+)
+
+func buildViewTestTree(t *testing.T, seed int64, clustered bool) *Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	objs := randObjects(rng, 250, 20)
+	cfg := Config{Store: storage.NewStore()}
+	if clustered {
+		docs := make([]vector.Vector, len(objs))
+		for i := range objs {
+			docs[i] = objs[i].Doc
+		}
+		cfg.Clustering = cluster.Run(docs, cluster.Config{K: 4, Seed: seed})
+	}
+	tr, err := Build(objs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestViewMatchesDecode walks a real tree (plain and clustered) reading
+// every node through both paths and compares the view accessors against
+// the eagerly decoded node field by field.
+func TestViewMatchesDecode(t *testing.T) {
+	for _, clustered := range []bool{false, true} {
+		tr := buildViewTestTree(t, 41, clustered)
+		var walk func(id storage.NodeID)
+		walk = func(id storage.NodeID) {
+			n, err := tr.ReadNodeTracked(id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := tr.ReadViewTracked(id, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.ID() != id || v.Leaf() != n.Leaf || v.Len() != len(n.Entries) {
+				t.Fatalf("node %d: view shape mismatch", id)
+			}
+			for i := range n.Entries {
+				e := &n.Entries[i]
+				if v.EntryRect(i) != e.Rect || v.EntryChild(i) != e.Child ||
+					v.EntryObjID(i) != e.ObjID || v.EntryCount(i) != e.Count ||
+					v.EntryIsObject(i) != e.IsObject() {
+					t.Fatalf("node %d entry %d: fixed-field mismatch", id, i)
+				}
+				env := v.EntryEnv(i)
+				if !env.Int.Equal(e.Env.Int) || !env.Uni.Equal(e.Env.Uni) {
+					t.Fatalf("node %d entry %d: envelope mismatch", id, i)
+				}
+				cls := v.EntryClusters(i)
+				if len(cls) != len(e.Clusters) {
+					t.Fatalf("node %d entry %d: %d cluster summaries, want %d",
+						id, i, len(cls), len(e.Clusters))
+				}
+				for j := range cls {
+					w := &e.Clusters[j]
+					if cls[j].Cluster != w.Cluster || cls[j].Count != w.Count ||
+						!cls[j].Env.Int.Equal(w.Env.Int) || !cls[j].Env.Uni.Equal(w.Env.Uni) {
+						t.Fatalf("node %d entry %d cluster %d: mismatch", id, i, j)
+					}
+				}
+				if !v.EntryIsObject(i) && !n.Leaf {
+					walk(e.Child)
+				}
+			}
+		}
+		walk(tr.RootID())
+	}
+}
+
+// TestViewAccessorsDoNotAllocate pins the tentpole claim: every view
+// accessor on a warm (bound-cached) view is allocation-free.
+func TestViewAccessorsDoNotAllocate(t *testing.T) {
+	tr := buildViewTestTree(t, 42, true)
+	v, err := tr.ReadViewTracked(tr.RootID(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = v.ID()
+		_ = v.Len()
+		_ = v.Leaf()
+		for i := 0; i < v.Len(); i++ {
+			_ = v.EntryRect(i)
+			_ = v.EntryChild(i)
+			_ = v.EntryObjID(i)
+			_ = v.EntryCount(i)
+			_ = v.EntryIsObject(i)
+			_ = v.EntryEnv(i)
+			_ = v.EntryClusters(i)
+			_ = v.Entry(i)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("view accessors allocate %.1f times per pass, want 0", allocs)
+	}
+}
+
+// TestWarmReadViewDoesNotAllocate covers the whole warm read: bound
+// cache hit plus a recycled offset buffer means a repeat visit performs
+// zero heap allocations end to end.
+func TestWarmReadViewDoesNotAllocate(t *testing.T) {
+	tr := buildViewTestTree(t, 43, false)
+	id := tr.RootID()
+	v, err := tr.ReadViewTracked(id, nil, nil) // cold: fills cache, grows offs
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := v.RecycleBuf()
+	var tk storage.Tracker
+	allocs := testing.AllocsPerRun(100, func() {
+		w, err := tr.ReadViewTracked(id, &tk, offs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = w.RecycleBuf()
+	})
+	if allocs != 0 {
+		t.Errorf("warm ReadViewTracked allocates %.1f times per read, want 0", allocs)
+	}
+	if tk.Reads() == 0 {
+		t.Error("warm reads skipped the simulated I/O charge")
+	}
+}
+
+// TestBoundCacheGetDoesNotAllocate pins the cache's hit path: a lookup
+// takes no locks that allocate, touches no container/list machinery, and
+// returns the shared entry as-is.
+func TestBoundCacheGetDoesNotAllocate(t *testing.T) {
+	tr := buildViewTestTree(t, 44, false)
+	if _, err := tr.ReadViewTracked(tr.RootID(), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	id := tr.RootID()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := tr.boundCache.get(id); !ok {
+			t.Fatal("root fell out of the bound cache")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("bound cache get allocates %.1f times per hit, want 0", allocs)
+	}
+}

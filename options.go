@@ -78,13 +78,26 @@ type Options struct {
 	// CacheHits in QueryStats). Enable it for serving throughput; leave
 	// it off to reproduce the paper's cold I/O counts.
 	NodeCache int
+	// BoundCache sizes the per-node textual bound cache backing the
+	// zero-copy read path: decoded envelopes and cluster summaries are
+	// memoized by NodeID so repeated visits (across rounds, queries, and
+	// BatchQuery fan-out) re-decode nothing. Unlike NodeCache, a bound
+	// cache hit still pays the full simulated page I/O, so QueryStats
+	// and the paper's I/O counts are unchanged at any setting. 0 keeps
+	// the default capacity (iurtree.DefaultBoundCacheNodes), a negative
+	// value disables the cache (every read decodes eagerly — the
+	// DESIGN.md ablation), a positive value sets the capacity in nodes.
+	BoundCache int
 	// FanoutMin/FanoutMax override the R-tree fan-out.
 	FanoutMin, FanoutMax int
 	// Workers bounds intra-query parallelism: each query's
 	// branch-and-bound frontier is processed in rounds fanned across
 	// this many goroutines (and Influence fans its per-user loop the
 	// same way). 0 defaults to runtime.GOMAXPROCS(0); 1 forces the
-	// sequential path. Results and QueryStats are identical at every
+	// sequential path; values above GOMAXPROCS are clamped to it, and
+	// rounds with fewer candidates than the fan-out threshold run inline,
+	// so low-core machines never pay goroutine overhead for tiny rounds.
+	// Results and QueryStats are identical at every
 	// setting — parallelism only changes wall-clock time. Queries issued
 	// through BatchQuery multiply this with the batch parallelism, so
 	// consider Workers=1 for batch-heavy serving.

@@ -173,6 +173,9 @@ func Open(dir string) (*Engine, error) {
 	if meta.Options.NodeCache > 0 {
 		tree.SetNodeCache(meta.Options.NodeCache)
 	}
+	if meta.Options.BoundCache != 0 {
+		tree.SetBoundCache(meta.Options.BoundCache)
+	}
 	fs.ResetStats()
 
 	scheme, err := textual.SchemeByName(meta.Options.Weighting)
