@@ -26,27 +26,35 @@ race-stress:
 	go test -race -run 'TestConcurrentQueryMutateRace|TestPinnedSnapshotSurvivesDelete' -count=3 .
 
 # Domain-specific analyzers (trackedio, ctxflow, locksafe, floatcmp,
-# hotalloc, sharedmut, errlost, pinsafe, retirepub, lockorder) driven
-# through the go vet vettool protocol with cross-package fact
-# propagation, plus standard go vet. The ./... pattern spans every
-# package — the root engine, internal/..., cmd/..., and examples/... —
-# so the CLIs and examples are held to the same lifecycle rules as the
-# engine.
+# hotalloc, sharedmut, errlost, pinsafe, retirepub, lockorder,
+# untrustedlen) driven through the go vet vettool protocol with
+# cross-package fact propagation, plus standard go vet. The ./...
+# pattern spans every package — the root engine, internal/...,
+# cmd/..., and examples/... — so the CLIs and examples are held to the
+# same lifecycle rules as the engine.
 lint:
 	go vet ./...
 	go build -o $(LINT_TOOL) ./cmd/rstknn-lint
 	go vet -vettool=$(LINT_TOOL) ./...
 
-# Machine-readable lint report (one JSON object per package) with
-# per-analyzer finding counts — zeroes included, so a clean run still
-# proves pinsafe/retirepub/lockorder executed; CI uploads this as a
-# build artifact. The go command relays the vettool's stdout onto its
-# own stderr with `# package` header lines, so the report is carved
-# out of stderr with the headers stripped.
+# Machine-readable lint report (one JSON object per package,
+# schema_version 2) with per-analyzer finding counts and elapsed-time
+# breakdowns — zeroes included, so a clean run still proves
+# pinsafe/retirepub/untrustedlen executed; CI uploads this as a build
+# artifact. The go command relays the vettool's stdout onto its own
+# stderr with `# package` header lines, so the report is carved out of
+# stderr with the headers stripped. The target is gating: any finding
+# in the report (a "posn" entry — the counts keys are all zero on a
+# clean run) fails the build, the same zero-findings bar as `make
+# lint`, with no baseline file to go stale.
 lint-json:
 	go build -o $(LINT_TOOL) ./cmd/rstknn-lint
 	go vet -vettool=$(LINT_TOOL) -json ./... 2>&1 | grep -v '^#' > $(LINT_REPORT) || true
 	@cat $(LINT_REPORT)
+	@if grep -q '"posn"' $(LINT_REPORT); then \
+		echo 'lint-json: findings present in $(LINT_REPORT)' >&2; \
+		exit 1; \
+	fi
 
 # The analyzer corpus: fixture-driven tests of every analyzer (including
 # the path-sensitive pinsafe/retirepub/lockorder suites and their
@@ -71,6 +79,7 @@ fuzz:
 	go test ./internal/iurtree/ -run '^$$' -fuzz FuzzNodeRoundTrip   -fuzztime $(FUZZTIME)
 	go test ./internal/iurtree/ -run '^$$' -fuzz FuzzNodeView        -fuzztime $(FUZZTIME)
 	go test ./internal/textual/ -run '^$$' -fuzz FuzzTextualPersist  -fuzztime $(FUZZTIME)
+	go test .                   -run '^$$' -fuzz FuzzLoad            -fuzztime $(FUZZTIME)
 
 # Regenerate the checked-in benchmark-regression baseline. The seed and
 # workload are pinned so diffs reflect code changes, not input drift;

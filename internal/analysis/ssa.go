@@ -1,0 +1,793 @@
+package analysis
+
+// SSA-lite value tracking on top of the CFG/dataflow engine. The
+// path-sensitive analyzers of cfg.go/dataflow.go reason about protocol
+// states ("pin held", "published"); taint analysis needs something
+// finer: for a given identifier USE, which definition(s) can it read,
+// and what expression produced each? BuildSSA answers that with a
+// deliberately small slice of SSA:
+//
+//   - Every definition site of every tracked local variable gets one
+//     Value (parameters and named results included). Reaching
+//     definitions are propagated with the generic forward solver; where
+//     two different definitions of the same variable meet at a block
+//     join, a phi Value merges them. Phis are memoized per
+//     (block, variable) — the JoinAt hook gives the join block's
+//     identity — so repeated solver sweeps converge on stable Value
+//     pointers instead of minting fresh phis forever.
+//   - UseDef maps every identifier use in the body to the Value it
+//     reads, computed by replaying the fixed point. Analyzers evaluate
+//     expressions over Values instead of pattern-matching statements.
+//   - Values carry a structural value number: two definitions whose
+//     defining expressions are the same pure computation over the same
+//     operand numbers share a Num (len(b) CSE, constant folding via
+//     go/constant). Impure expressions — calls, loads — number uniquely.
+//
+// What is deliberately NOT here: no dominator tree (phi placement falls
+// out of the join-point memoization), no memory SSA (fields, slice
+// elements, and globals are untracked; loads from them are opaque), and
+// no closures (variables captured by address or assigned inside a
+// FuncLit are demoted to a single opaque Value, and FuncLit bodies are
+// not entered). Those are exactly the cuts that keep the layer ~small
+// while still proving the bounds-check facts untrustedlen needs.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ValueKind classifies how a Value came to be.
+type ValueKind uint8
+
+const (
+	// ValParam is a parameter, receiver, or named result at entry.
+	ValParam ValueKind = iota
+	// ValDef is an ordinary definition with a defining expression
+	// (assignment, := declaration, op-assign, ++/--).
+	ValDef
+	// ValZero is a var declaration without an initializer.
+	ValZero
+	// ValPhi merges distinct reaching definitions at a block join.
+	ValPhi
+	// ValRange is a range-loop key or value variable.
+	ValRange
+	// ValOpaque stands for every definition of a variable the builder
+	// cannot track (address taken, or assigned inside a closure).
+	ValOpaque
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case ValParam:
+		return "param"
+	case ValDef:
+		return "def"
+	case ValZero:
+		return "zero"
+	case ValPhi:
+		return "phi"
+	case ValRange:
+		return "range"
+	case ValOpaque:
+		return "opaque"
+	}
+	return "?"
+}
+
+// Value is one SSA-lite definition of a variable.
+type Value struct {
+	// ID is the creation index; Values slice order. Stable across
+	// solver sweeps because definition sites and phis are memoized.
+	ID int
+	// Num is the structural value number: equal Nums mean provably
+	// equal values (same pure expression over same operands).
+	Num int
+	// Kind classifies the definition.
+	Kind ValueKind
+	// Var is the variable defined.
+	Var *types.Var
+	// Expr is the defining expression for ValDef (the assignment RHS;
+	// nil for ++/--) and the range expression for ValRange.
+	Expr ast.Expr
+	// ResIdx is the tuple-result index when Expr is a multi-value
+	// call/type-assert/map-read assigned to several variables; -1 for
+	// single-value definitions.
+	ResIdx int
+	// Prev is the incoming value of Var for op-assigns (x += e) and
+	// ++/--; nil otherwise.
+	Prev *Value
+	// Op is the op-assign or inc/dec token (token.ADD_ASSIGN,
+	// token.INC, ...); token.ILLEGAL for plain definitions.
+	Op token.Token
+	// Ops are the phi operands (ValPhi only), in join-arrival order.
+	Ops []*Value
+	// Block is the index of the defining block (-1 for entry values).
+	Block int
+	// ParamIdx is the signature parameter index for ValParam values
+	// that are ordinary parameters (callers' argument index); -1 for
+	// receivers, results, and every other kind.
+	ParamIdx int
+	// Pos is the definition position.
+	Pos token.Pos
+}
+
+func (v *Value) addOp(op *Value) {
+	for _, o := range v.Ops {
+		if o == op {
+			return
+		}
+	}
+	v.Ops = append(v.Ops, op)
+}
+
+// FuncSSA is the SSA-lite form of one function.
+type FuncSSA struct {
+	// Decl is the analyzed declaration.
+	Decl *ast.FuncDecl
+	// G is the underlying control-flow graph of the body.
+	G *CFG
+	// Values lists every Value in creation order.
+	Values []*Value
+	// UseDef maps each identifier USE in the body to the value it
+	// reads. Write-target identifiers are in DefIdent instead.
+	UseDef map[*ast.Ident]*Value
+	// DefIdent maps each identifier that is a definition site to the
+	// Value the definition produced.
+	DefIdent map[*ast.Ident]*Value
+	// Params holds the entry values of the signature's parameters in
+	// order (nil entries for untrackable parameters).
+	Params []*Value
+
+	info    *types.Info
+	tracked map[*types.Var]bool
+	opaque  map[*types.Var]*Value
+}
+
+// ssaState maps each tracked variable to its current definition.
+type ssaState map[*types.Var]*Value
+
+type phiKey struct {
+	block int
+	v     *types.Var
+}
+
+type defKey struct {
+	site ast.Node
+	idx  int
+}
+
+type ssaBuilder struct {
+	s    *FuncSSA
+	phis map[phiKey]*Value
+	defs map[defKey]*Value
+}
+
+// BuildSSA computes the SSA-lite form of fn's body. Returns nil for
+// bodiless declarations.
+func BuildSSA(fn *ast.FuncDecl, info *types.Info) *FuncSSA {
+	if fn.Body == nil {
+		return nil
+	}
+	s := &FuncSSA{
+		Decl:     fn,
+		G:        NewCFG(fn.Body),
+		UseDef:   make(map[*ast.Ident]*Value),
+		DefIdent: make(map[*ast.Ident]*Value),
+		info:     info,
+		tracked:  make(map[*types.Var]bool),
+		opaque:   make(map[*types.Var]*Value),
+	}
+	b := &ssaBuilder{
+		s:    s,
+		phis: make(map[phiKey]*Value),
+		defs: make(map[defKey]*Value),
+	}
+	entry := b.collectVars(fn)
+
+	flow := &Flow[ssaState]{
+		Entry:  entry,
+		Copy:   copySSAState,
+		JoinAt: b.join,
+		Equal:  equalSSAState,
+		Transfer: func(n ast.Node, st ssaState) ssaState {
+			b.transfer(n, st)
+			return st
+		},
+	}
+	sol := Solve(s.G, flow)
+
+	// Replay the fixed point to resolve every identifier use against
+	// the definition in force immediately before its node.
+	sol.Walk(func(n ast.Node, before ssaState) {
+		b.recordUses(n, before)
+		// Walk re-applies Transfer itself; recordUses only reads.
+	})
+	b.number()
+	return s
+}
+
+// collectVars finds the trackable variables of fn, demotes unstable
+// ones (address-taken or closure-assigned) to opaque, and returns the
+// entry state holding parameter/receiver/result values.
+func (b *ssaBuilder) collectVars(fn *ast.FuncDecl) ssaState {
+	s := b.s
+	vars := make(map[*types.Var]bool)
+	unstable := make(map[*types.Var]bool)
+	localVar := func(id *ast.Ident) *types.Var {
+		if obj, ok := s.info.Defs[id].(*types.Var); ok {
+			return obj
+		}
+		return nil
+	}
+	// Pass 1: every variable defined anywhere in the declaration,
+	// including inside closures (a closure-local def of an outer name
+	// is a distinct *types.Var and simply never referenced outside).
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := localVar(id); v != nil {
+				vars[v] = true
+			}
+		}
+		return true
+	})
+	// Pass 2: demote variables whose value can change behind the
+	// solver's back — address taken anywhere, or written inside a
+	// FuncLit (the closure may run at any point).
+	var mark func(n ast.Node, inLit bool)
+	markTarget := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := s.info.Uses[id].(*types.Var); ok {
+				unstable[v] = true
+			} else if v, ok := s.info.Defs[id].(*types.Var); ok {
+				unstable[v] = true
+			}
+		}
+	}
+	mark = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				mark(n.Body, true)
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					markTarget(n.X)
+				}
+			case *ast.AssignStmt:
+				if inLit {
+					for _, l := range n.Lhs {
+						markTarget(l)
+					}
+				}
+			case *ast.IncDecStmt:
+				if inLit {
+					markTarget(n.X)
+				}
+			case *ast.RangeStmt:
+				if inLit {
+					if n.Key != nil {
+						markTarget(n.Key)
+					}
+					if n.Value != nil {
+						markTarget(n.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+	mark(fn.Body, false)
+
+	for v := range vars {
+		if unstable[v] {
+			op := b.newValue(&Value{Kind: ValOpaque, Var: v, Block: -1, ParamIdx: -1, Pos: v.Pos()})
+			s.opaque[v] = op
+		} else {
+			s.tracked[v] = true
+		}
+	}
+
+	// Entry state: receiver, parameters, named results.
+	entry := make(ssaState)
+	addParam := func(id *ast.Ident, idx int, zero bool) *Value {
+		v := localVar(id)
+		if v == nil || !s.tracked[v] {
+			return nil
+		}
+		kind := ValParam
+		if zero {
+			kind = ValZero
+		}
+		val := b.newValue(&Value{Kind: kind, Var: v, Block: -1, ParamIdx: idx, Pos: id.Pos()})
+		entry[v] = val
+		return val
+	}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			for _, id := range f.Names {
+				addParam(id, -1, false)
+			}
+		}
+	}
+	pidx := 0
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			for _, id := range f.Names {
+				s.Params = append(s.Params, addParam(id, pidx, false))
+				pidx++
+			}
+			if len(f.Names) == 0 {
+				s.Params = append(s.Params, nil)
+				pidx++
+			}
+		}
+	}
+	if fn.Type.Results != nil {
+		for _, f := range fn.Type.Results.List {
+			for _, id := range f.Names {
+				addParam(id, -1, true)
+			}
+		}
+	}
+	return entry
+}
+
+func (b *ssaBuilder) newValue(v *Value) *Value {
+	v.ID = len(b.s.Values)
+	v.ResIdx = -1
+	if v.Op == 0 {
+		v.Op = token.ILLEGAL
+	}
+	b.s.Values = append(b.s.Values, v)
+	return v
+}
+
+func copySSAState(s ssaState) ssaState {
+	out := make(ssaState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func equalSSAState(a, b ssaState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// join merges two reaching-definition maps at block. Distinct values
+// for the same variable merge into the block's memoized phi; a
+// variable present on only one side keeps that side's value (its uses
+// on the other side are syntactically impossible — Go scoping).
+func (b *ssaBuilder) join(block int, a, c ssaState) ssaState {
+	if block == b.s.G.Exit.Index {
+		// The synthetic Exit block holds no nodes, so its state is never
+		// read: keep whatever arrived first instead of minting phis for
+		// merges nothing will look at. (Keeping the stored side is what
+		// makes this a fixed point; alternating sides would never settle.)
+		return a
+	}
+	if len(b.s.G.Blocks[block].Preds) < 2 {
+		// A single-predecessor block is not a join point: the state the
+		// solver stored for it on an earlier sweep is stale, not a merge
+		// partner, so the arriving state supersedes it. Merging instead
+		// would mint a spurious phi chaining the old value to the new one
+		// at every block downstream of a real join.
+		return c
+	}
+	for v, cv := range c {
+		av, ok := a[v]
+		if !ok {
+			a[v] = cv
+			continue
+		}
+		if av == cv {
+			continue
+		}
+		key := phiKey{block, v}
+		phi := b.phis[key]
+		switch {
+		case phi != nil && av == phi:
+			phi.addOp(cv)
+		case phi != nil && cv == phi:
+			phi.addOp(av)
+			a[v] = phi
+		default:
+			if phi == nil {
+				phi = b.newValue(&Value{Kind: ValPhi, Var: v, Block: block, ParamIdx: -1, Pos: v.Pos()})
+				b.phis[key] = phi
+			}
+			phi.addOp(av)
+			phi.addOp(cv)
+			a[v] = phi
+		}
+	}
+	return a
+}
+
+// defineAt records a definition of the variable behind id at the
+// memoized (site, idx) value, updating the state. Mutable inputs that
+// depend on the incoming state (Prev) are refreshed on every sweep;
+// the final sweep leaves the converged value.
+func (b *ssaBuilder) defineAt(st ssaState, site ast.Node, idx int, id *ast.Ident, kind ValueKind, expr ast.Expr, resIdx int, prev *Value, op token.Token) {
+	v := b.defObj(id)
+	if v == nil {
+		return
+	}
+	if !b.s.tracked[v] {
+		if opv := b.s.opaque[v]; opv != nil {
+			st[v] = opv
+		}
+		return
+	}
+	key := defKey{site, idx}
+	val := b.defs[key]
+	if val == nil {
+		val = b.newValue(&Value{Kind: kind, Var: v, Expr: expr, Block: -2, ParamIdx: -1, Pos: id.Pos(), Op: op})
+		val.ResIdx = resIdx
+		b.defs[key] = val
+	}
+	val.Prev = prev
+	st[v] = val
+}
+
+// defObj resolves an identifier to the variable it defines or assigns.
+func (b *ssaBuilder) defObj(id *ast.Ident) *types.Var {
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	if v, ok := b.s.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := b.s.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// transfer applies one CFG node's definitions to the state.
+func (b *ssaBuilder) transfer(n ast.Node, st ssaState) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		b.assignStmt(n, st)
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			var prev *Value
+			if v := b.defObj(id); v != nil {
+				prev = st[v]
+			}
+			b.defineAt(st, n, 0, id, ValDef, nil, -1, prev, n.Tok)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for si, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for ni, name := range vs.Names {
+				idx := si<<16 | ni
+				switch {
+				case len(vs.Values) == 0:
+					b.defineAt(st, n, idx, name, ValZero, nil, -1, nil, token.ILLEGAL)
+				case len(vs.Values) == len(vs.Names):
+					b.defineAt(st, n, idx, name, ValDef, vs.Values[ni], -1, nil, token.ILLEGAL)
+				default: // tuple: var a, b = f()
+					b.defineAt(st, n, idx, name, ValDef, vs.Values[0], ni, nil, token.ILLEGAL)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := rangeVarIdent(n.Key); ok {
+			b.defineAt(st, n, 0, id, ValRange, n.X, -1, nil, token.ILLEGAL)
+		}
+		if id, ok := rangeVarIdent(n.Value); ok {
+			b.defineAt(st, n, 1, id, ValRange, n.X, -1, nil, token.ILLEGAL)
+		}
+	}
+}
+
+func (b *ssaBuilder) assignStmt(n *ast.AssignStmt, st ssaState) {
+	switch n.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(n.Rhs) == len(n.Lhs) {
+			for i, l := range n.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+					b.defineAt(st, n, i, id, ValDef, n.Rhs[i], -1, nil, token.ILLEGAL)
+				}
+			}
+			return
+		}
+		// Tuple assignment: n, err := f().
+		for i, l := range n.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				b.defineAt(st, n, i, id, ValDef, n.Rhs[0], i, nil, token.ILLEGAL)
+			}
+		}
+	default:
+		// Op-assign: x += e reads the incoming x through Prev.
+		if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+			return
+		}
+		if id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident); ok {
+			var prev *Value
+			if v := b.defObj(id); v != nil {
+				prev = st[v]
+			}
+			b.defineAt(st, n, 0, id, ValDef, n.Rhs[0], -1, prev, n.Tok)
+		}
+	}
+}
+
+func rangeVarIdent(e ast.Expr) (*ast.Ident, bool) {
+	if e == nil {
+		return nil, false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return id, ok
+}
+
+// recordUses resolves every identifier read inside node n against the
+// state before n, and every write-target identifier against the state
+// after. FuncLit bodies are skipped: closure reads are not resolved
+// (the closure may run anywhere).
+func (b *ssaBuilder) recordUses(n ast.Node, before ssaState) {
+	writes := make(map[*ast.Ident]bool)
+	addWrite := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			writes[id] = true
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, l := range n.Lhs {
+			addWrite(l)
+		}
+	case *ast.IncDecStmt:
+		addWrite(n.X)
+	case *ast.RangeStmt:
+		addWrite(n.Key)
+		addWrite(n.Value)
+	}
+	inspectOwn(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok || writes[id] {
+			return true
+		}
+		v, ok := b.s.info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if b.s.tracked[v] {
+			if val := before[v]; val != nil {
+				b.s.UseDef[id] = val
+			}
+		} else if opv := b.s.opaque[v]; opv != nil {
+			b.s.UseDef[id] = opv
+		}
+		return true
+	})
+	// Apply the node's definitions to a scratch state so write targets
+	// resolve to the value the definition produced.
+	after := copySSAState(before)
+	b.transfer(n, after)
+	for id := range writes {
+		if v := b.defObj(id); v != nil {
+			if val := after[v]; val != nil {
+				b.s.DefIdent[id] = val
+			}
+		}
+	}
+}
+
+// ------------------------------------------------------------------
+// Value numbering
+
+// number assigns structural value numbers in ID order: pure defining
+// expressions over identically-numbered operands share a number;
+// everything else (params, phis, calls, loads) numbers uniquely.
+func (b *ssaBuilder) number() {
+	nums := make(map[string]int)
+	next := 0
+	intern := func(key string) int {
+		if n, ok := nums[key]; ok {
+			return n
+		}
+		nums[key] = next
+		next++
+		return next - 1
+	}
+	for _, v := range b.s.Values {
+		var key string
+		switch {
+		case v.Kind == ValDef && v.Prev == nil && v.Expr != nil:
+			if v.ResIdx >= 0 {
+				key = fmt.Sprintf("t%d:%s", v.ResIdx, b.exprNumKey(v.Expr))
+			} else {
+				key = "d:" + b.exprNumKey(v.Expr)
+			}
+		case v.Kind == ValZero:
+			key = "z:" + types.TypeString(v.Var.Type(), nil)
+		default:
+			key = fmt.Sprintf("u:%d", v.ID)
+		}
+		v.Num = intern(key)
+	}
+}
+
+// exprNumKey renders an expression as a structural key with identifier
+// uses replaced by their operand value numbers. Impure or unmodeled
+// subexpressions key by position, so they never compare equal.
+func (b *ssaBuilder) exprNumKey(e ast.Expr) string {
+	if tv, ok := b.s.info.Types[e]; ok && tv.Value != nil {
+		return "c:" + tv.Value.ExactString()
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return b.exprNumKey(e.X)
+	case *ast.Ident:
+		if val := b.s.UseDef[e]; val != nil {
+			return fmt.Sprintf("#%d", val.Num)
+		}
+		return fmt.Sprintf("@%d", e.Pos())
+	case *ast.BinaryExpr:
+		return "(" + b.exprNumKey(e.X) + e.Op.String() + b.exprNumKey(e.Y) + ")"
+	case *ast.UnaryExpr:
+		if e.Op == token.AND || e.Op == token.ARROW {
+			return fmt.Sprintf("@%d", e.Pos())
+		}
+		return e.Op.String() + b.exprNumKey(e.X)
+	case *ast.CallExpr:
+		if tv, ok := b.s.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			// Conversion: pure over its operand.
+			return "conv[" + types.TypeString(tv.Type, nil) + "]" + b.exprNumKey(e.Args[0])
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && len(e.Args) >= 1 {
+			if bi, ok := b.s.info.Uses[id].(*types.Builtin); ok && (bi.Name() == "len" || bi.Name() == "cap") {
+				return bi.Name() + "(" + b.exprNumKey(e.Args[0]) + ")"
+			}
+		}
+		return fmt.Sprintf("@%d", e.Pos())
+	default:
+		return fmt.Sprintf("@%d", e.Pos())
+	}
+}
+
+// ------------------------------------------------------------------
+// Queries and debugging
+
+// ValueOf returns the Value a bare identifier expression reads, or nil
+// for anything more structured.
+func (s *FuncSSA) ValueOf(e ast.Expr) *Value {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return s.UseDef[id]
+	}
+	return nil
+}
+
+// Dump renders the def-use structure deterministically for tests: one
+// line per Value in creation order with its kind, variable, defining
+// expression or phi operands, and use count.
+func (s *FuncSSA) Dump() string {
+	uses := make(map[*Value]int)
+	for _, v := range s.UseDef {
+		uses[v]++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s:\n", s.Decl.Name.Name)
+	for _, v := range s.Values {
+		fmt.Fprintf(&sb, "  v%-3d n%-3d %-6s %s", v.ID, v.Num, v.Kind, v.Var.Name())
+		switch v.Kind {
+		case ValDef:
+			if v.Prev != nil {
+				fmt.Fprintf(&sb, " = %s(v%d", v.Op, v.Prev.ID)
+				if v.Expr != nil {
+					fmt.Fprintf(&sb, ", %s", exprText(v.Expr))
+				}
+				sb.WriteString(")")
+			} else if v.Expr != nil {
+				fmt.Fprintf(&sb, " = %s", exprText(v.Expr))
+				if v.ResIdx >= 0 {
+					fmt.Fprintf(&sb, ".%d", v.ResIdx)
+				}
+			}
+		case ValPhi:
+			ids := make([]string, len(v.Ops))
+			for i, o := range v.Ops {
+				ids[i] = fmt.Sprintf("v%d", o.ID)
+			}
+			// Operand arrival order depends on sweep order; sort for a
+			// stable dump.
+			sort.Strings(ids)
+			fmt.Fprintf(&sb, " = phi(%s) @b%d", strings.Join(ids, ", "), v.Block)
+		case ValRange:
+			fmt.Fprintf(&sb, " = range %s", exprText(v.Expr))
+		}
+		if n := uses[v]; n > 0 {
+			fmt.Fprintf(&sb, "  [uses %d]", n)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// exprText renders an expression compactly for dumps and diagnostics.
+func exprText(e ast.Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sb.WriteString(e.Name)
+	case *ast.BasicLit:
+		sb.WriteString(e.Value)
+	case *ast.ParenExpr:
+		sb.WriteString("(")
+		writeExpr(sb, e.X)
+		sb.WriteString(")")
+	case *ast.BinaryExpr:
+		writeExpr(sb, e.X)
+		sb.WriteString(" " + e.Op.String() + " ")
+		writeExpr(sb, e.Y)
+	case *ast.UnaryExpr:
+		sb.WriteString(e.Op.String())
+		writeExpr(sb, e.X)
+	case *ast.SelectorExpr:
+		writeExpr(sb, e.X)
+		sb.WriteString("." + e.Sel.Name)
+	case *ast.CallExpr:
+		writeExpr(sb, e.Fun)
+		sb.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a)
+		}
+		sb.WriteString(")")
+	case *ast.IndexExpr:
+		writeExpr(sb, e.X)
+		sb.WriteString("[")
+		writeExpr(sb, e.Index)
+		sb.WriteString("]")
+	case *ast.SliceExpr:
+		writeExpr(sb, e.X)
+		sb.WriteString("[")
+		if e.Low != nil {
+			writeExpr(sb, e.Low)
+		}
+		sb.WriteString(":")
+		if e.High != nil {
+			writeExpr(sb, e.High)
+		}
+		sb.WriteString("]")
+	case *ast.StarExpr:
+		sb.WriteString("*")
+		writeExpr(sb, e.X)
+	default:
+		sb.WriteString("<expr>")
+	}
+}

@@ -1,0 +1,232 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"rstknn/internal/analysis"
+)
+
+// buildSSAFuncs type-checks src (wrapped in a package clause) and
+// returns the SSA-lite form of every function, by name. The SSA layer —
+// unlike the purely syntactic CFG — resolves identifiers through
+// types.Info, so these fixtures go through go/types.
+func buildSSAFuncs(t *testing.T, src string) map[string]*analysis.FuncSSA {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "ssa_fixture.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var conf types.Config
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v\nsource:\n%s", err, src)
+	}
+	out := make(map[string]*analysis.FuncSSA)
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			out[fd.Name.Name] = analysis.BuildSSA(fd, info)
+		}
+	}
+	return out
+}
+
+// useValue returns the Value read by the nth (0-based, source order)
+// use of the named identifier in s's body.
+func useValue(t *testing.T, s *analysis.FuncSSA, name string, nth int) *analysis.Value {
+	t.Helper()
+	var vals []*analysis.Value
+	ast.Inspect(s.Decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if v := s.UseDef[id]; v != nil {
+				vals = append(vals, v)
+			}
+		}
+		return true
+	})
+	if nth >= len(vals) {
+		t.Fatalf("use #%d of %q not found (%d resolved uses)", nth, name, len(vals))
+	}
+	return vals[nth]
+}
+
+func TestSSAPhiAtIfJoin(t *testing.T) {
+	fns := buildSSAFuncs(t, `
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}
+`)
+	v := useValue(t, fns["f"], "x", 0)
+	if v.Kind != analysis.ValPhi {
+		t.Fatalf("x at return resolved to %s, want phi\n%s", v.Kind, fns["f"].Dump())
+	}
+	if len(v.Ops) != 2 {
+		t.Fatalf("phi has %d operands, want 2\n%s", len(v.Ops), fns["f"].Dump())
+	}
+	for _, o := range v.Ops {
+		if o.Kind != analysis.ValDef {
+			t.Errorf("phi operand v%d is %s, want def", o.ID, o.Kind)
+		}
+	}
+}
+
+// TestSSANoPhiWhenBranchReturns: when one arm of the if terminates, its
+// definition cannot reach the statement after the if, so no phi forms
+// and the use resolves to the single live definition.
+func TestSSANoPhiWhenBranchReturns(t *testing.T) {
+	fns := buildSSAFuncs(t, `
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+		return x
+	}
+	return x
+}
+`)
+	inBranch := useValue(t, fns["f"], "x", 0)
+	atEnd := useValue(t, fns["f"], "x", 1)
+	if inBranch.Kind != analysis.ValDef || inBranch == atEnd {
+		t.Errorf("x inside the branch resolved to v%d (%s), want the x = 2 def", inBranch.ID, inBranch.Kind)
+	}
+	if atEnd.Kind != analysis.ValDef {
+		t.Fatalf("x at the final return resolved to %s, want def (no phi)\n%s", atEnd.Kind, fns["f"].Dump())
+	}
+}
+
+// TestSSAPhiAtForLoop: a loop-carried variable forms a phi at the loop
+// head, and the in-loop redefinition reads that phi back through Prev —
+// the def-use cycle that makes the taint fixpoint see accumulation.
+func TestSSAPhiAtForLoop(t *testing.T) {
+	fns := buildSSAFuncs(t, `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`)
+	f := fns["f"]
+	sAtReturn := useValue(t, f, "s", 0)
+	if sAtReturn.Kind != analysis.ValPhi {
+		t.Fatalf("s at return resolved to %s, want phi\n%s", sAtReturn.Kind, f.Dump())
+	}
+	var acc *analysis.Value
+	for _, o := range sAtReturn.Ops {
+		if o.Kind == analysis.ValDef && o.Op == token.ADD_ASSIGN {
+			acc = o
+		}
+	}
+	if acc == nil {
+		t.Fatalf("phi has no s += i operand\n%s", f.Dump())
+	}
+	if acc.Prev != sAtReturn {
+		t.Errorf("s += i reads v%d through Prev, want the loop-head phi v%d\n%s",
+			acc.Prev.ID, sAtReturn.ID, f.Dump())
+	}
+	iAtCond := useValue(t, f, "i", 0)
+	if iAtCond.Kind != analysis.ValPhi {
+		t.Errorf("i in the loop condition resolved to %s, want phi\n%s", iAtCond.Kind, f.Dump())
+	}
+}
+
+func TestSSAPhiAtRangeJoin(t *testing.T) {
+	fns := buildSSAFuncs(t, `
+func f(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+`)
+	f := fns["f"]
+	if got := useValue(t, f, "v", 0).Kind; got != analysis.ValRange {
+		t.Errorf("v inside the loop resolved to %s, want range", got)
+	}
+	tot := useValue(t, f, "total", 0)
+	if tot.Kind != analysis.ValPhi {
+		t.Fatalf("total at return resolved to %s, want phi\n%s", tot.Kind, f.Dump())
+	}
+}
+
+// TestSSAOpaqueAddressTaken: taking a variable's address demotes every
+// definition of it to one opaque value.
+func TestSSAOpaqueAddressTaken(t *testing.T) {
+	fns := buildSSAFuncs(t, `
+func f(p int) int {
+	x := p
+	q := &x
+	_ = q
+	return x
+}
+`)
+	if got := useValue(t, fns["f"], "x", 1).Kind; got != analysis.ValOpaque {
+		t.Errorf("address-taken x resolved to %s, want opaque\n%s", got, fns["f"].Dump())
+	}
+}
+
+// TestSSAValueNumbering: two definitions by the same pure expression
+// over the same operands share a value number; different expressions
+// (and impure ones) do not.
+func TestSSAValueNumbering(t *testing.T) {
+	fns := buildSSAFuncs(t, `
+func f(b []byte) int {
+	a := len(b)
+	c := len(b)
+	d := len(b) + 1
+	e := cap(b)
+	return a + c + d + e
+}
+`)
+	f := fns["f"]
+	a, c := useValue(t, f, "a", 0), useValue(t, f, "c", 0)
+	d, e := useValue(t, f, "d", 0), useValue(t, f, "e", 0)
+	if a == c {
+		t.Fatalf("a and c resolved to the same Value — distinct defs expected")
+	}
+	if a.Num != c.Num {
+		t.Errorf("len(b) defs numbered %d and %d, want equal\n%s", a.Num, c.Num, f.Dump())
+	}
+	if d.Num == a.Num || e.Num == a.Num || d.Num == e.Num {
+		t.Errorf("distinct expressions share a number (a=%d d=%d e=%d)\n%s", a.Num, d.Num, e.Num, f.Dump())
+	}
+}
+
+// TestSSADumpGolden pins the rendered def-use structure of a small
+// function: value order, numbering, phi placement, and use counts.
+func TestSSADumpGolden(t *testing.T) {
+	fns := buildSSAFuncs(t, `
+func g(n int) int {
+	x := n + 1
+	if n > 0 {
+		x = n - 1
+	}
+	return x
+}
+`)
+	got := fns["g"].Dump()
+	want := "func g:\n" +
+		"  v0   n0   param  n  [uses 3]\n" +
+		"  v1   n1   def    x = n + 1\n" +
+		"  v2   n2   def    x = n - 1\n" +
+		"  v3   n3   phi    x = phi(v1, v2) @b2  [uses 1]\n"
+	if got != want {
+		t.Errorf("Dump mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -69,6 +69,14 @@ type FuncNode struct {
 	ioEvid  bool
 	lockEv  bool
 	retsCap bool // every return is a capacity-backed slice
+
+	// ssa caches the SSA-lite form for the taint scan (built once;
+	// ssaTried distinguishes "not built yet" from "bodiless").
+	ssa      *FuncSSA
+	ssaTried bool
+	// taint is the function's final taint-scan result (findings to
+	// replay plus exported specs), set by fixTaint.
+	taint *taintScan
 }
 
 // PkgFacts bundles one package's dataflow results with the facts of its
@@ -296,6 +304,10 @@ func Summarize(fset *token.FileSet, files []*ast.File, pkg *types.Package, info 
 	// behavioral facts fixed above.
 	pf.fixLifecycle(info, dirs)
 	pf.fixLockOrder(info)
+
+	// Pass 5: SSA-lite taint. Runs last so untrustedlen's sources can
+	// consult every behavioral fact already fixed above.
+	pf.fixTaint(info, dirs)
 	return pf
 }
 

@@ -1,0 +1,32 @@
+// Package helper is the dependency side of the cross-package
+// untrustedlen fixture: its TaintResults/SinkParams facts are only
+// visible to the root package through fact propagation.
+package helper
+
+import "encoding/binary"
+
+// DecodeCount returns a count decoded straight from untrusted bytes —
+// it exports a TaintResults fact, so callers must bounds-check the
+// result exactly like a local decode.
+func DecodeCount(blob []byte) int {
+	if len(blob) < 4 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(blob))
+}
+
+// Fill stores through an unvalidated parameter index — it exports a
+// SinkParams fact, so the CALL SITE is flagged when a tainted index
+// flows in; no diagnostic lands here (the parameter may be fine).
+func Fill(table []int, i int, v int) {
+	table[i] = v
+}
+
+// FillChecked validates its index first: no SinkParams fact, callers
+// may pass anything.
+func FillChecked(table []int, i int, v int) {
+	if i < 0 || i >= len(table) {
+		return
+	}
+	table[i] = v
+}

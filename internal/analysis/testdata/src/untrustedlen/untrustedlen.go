@@ -1,0 +1,159 @@
+// The untrustedlen fixture: integers decoded from untrusted page bytes
+// must pass a dominating bounds check before reaching an allocation
+// size, a slice index/reslice, or a narrowing conversion.
+package untrustedlen
+
+import (
+	"encoding/binary"
+
+	"untrustedlen/helper"
+)
+
+// --- allocation sinks -------------------------------------------------
+
+func makeUnchecked(blob []byte) []int32 {
+	n := int(binary.LittleEndian.Uint32(blob))
+	return make([]int32, n) // want `make size derives from a 32-bit value decoded from untrusted bytes`
+}
+
+func makeChecked(blob []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(blob))
+	if n < 0 || n > len(blob) {
+		return nil
+	}
+	return make([]byte, n) // ok: dominated by the bounds check above
+}
+
+func makeUvarint(blob []byte) []byte {
+	v, _ := binary.Uvarint(blob)
+	return make([]byte, v) // want `make size derives from a 64-bit value decoded from untrusted bytes`
+}
+
+// The classic broken guard: 4+n*12 wraps on 32-bit platforms, so the
+// comparison proves nothing — the analyzer rejects it and says why.
+func makeOverflowGuard(blob []byte) []uint64 {
+	n := int(binary.LittleEndian.Uint32(blob))
+	need := 4 + n*12
+	if len(blob) < need {
+		return nil
+	}
+	return make([]uint64, n) // want `make size derives from .*; the bounds check at .* is ignored`
+}
+
+// The division form of the same guard is exact at every int width.
+func makeDivisionGuard(blob []byte) []uint64 {
+	n := int(binary.LittleEndian.Uint32(blob))
+	if n > (len(blob)-4)/12 {
+		return nil
+	}
+	return make([]uint64, n) // ok: division-form guard cannot overflow
+}
+
+// Comparing two attacker-chosen values sanitizes nothing.
+func makeWildPair(blob []byte) []byte {
+	a := int(binary.LittleEndian.Uint32(blob))
+	b := int(binary.LittleEndian.Uint32(blob[4:]))
+	if a > b {
+		return nil
+	}
+	return make([]byte, a) // want `make size derives from a 32-bit value`
+}
+
+func makeBlessed(blob []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(blob))
+	return make([]byte, n) //rstknn:validated fixture: the caller guarantees n ≤ page size
+}
+
+// --- index and reslice sinks ------------------------------------------
+
+func indexUnchecked(blob []byte, table []float64) float64 {
+	i := int(binary.LittleEndian.Uint16(blob))
+	return table[i] // want `index derives from a 16-bit value decoded from untrusted bytes`
+}
+
+func indexChecked(blob []byte, table []float64) float64 {
+	i := int(binary.LittleEndian.Uint16(blob))
+	if i >= len(table) {
+		return 0
+	}
+	return table[i] // ok: uint16 widens non-negative, upper bound checked
+}
+
+// A same-width reinterpreting cast can go negative: an upper bound
+// alone is not enough.
+func indexNegative(blob []byte, table []float64) float64 {
+	id := int32(binary.LittleEndian.Uint32(blob))
+	if int(id) >= len(table) {
+		return 0
+	}
+	return table[id] // want `index from .* may be negative`
+}
+
+func indexNegativeChecked(blob []byte, table []float64) float64 {
+	id := int32(binary.LittleEndian.Uint32(blob))
+	if id < 0 || int(id) >= len(table) {
+		return 0
+	}
+	return table[id] // ok: both bounds checked
+}
+
+func resliceUnchecked(blob []byte) []byte {
+	off := int(binary.LittleEndian.Uint32(blob))
+	return blob[off:] // want `slice bound derives from a 32-bit value`
+}
+
+func resliceChecked(blob []byte) []byte {
+	off := int(binary.LittleEndian.Uint32(blob))
+	if off > len(blob) {
+		return nil
+	}
+	return blob[off:] // ok: bounded by the blob length
+}
+
+// --- narrowing conversion sinks ----------------------------------------
+
+func narrowUnchecked(blob []byte) int16 {
+	v := binary.LittleEndian.Uint64(blob)
+	return int16(v) // want `conversion to int16 may truncate`
+}
+
+func narrowChecked(blob []byte) int16 {
+	v := binary.LittleEndian.Uint64(blob)
+	if v > 1000 {
+		return 0
+	}
+	return int16(v) // ok: the checked magnitude fits int16
+}
+
+// --- cross-package flows (ride the facts) ------------------------------
+
+func crossResult(blob []byte, table []int) int {
+	n := helper.DecodeCount(blob)
+	return table[n] // want `index derives from a 32-bit value decoded from untrusted bytes`
+}
+
+func crossResultChecked(blob []byte, table []int) int {
+	n := helper.DecodeCount(blob)
+	if n >= len(table) {
+		return 0
+	}
+	return table[n] // ok: fact-carried taint sanitized like a local decode
+}
+
+func crossSink(blob []byte, table []int) {
+	i := int(binary.LittleEndian.Uint32(blob))
+	helper.Fill(table, i, 1) // want `argument 1 of untrustedlen/helper.Fill flows from .* to an unvalidated index sink`
+}
+
+func crossSinkChecked(blob []byte, table []int) {
+	i := int(binary.LittleEndian.Uint32(blob))
+	if i >= len(table) {
+		return
+	}
+	helper.Fill(table, i, 1) // ok: bounded and non-negative at the call site
+}
+
+func crossSinkValidatedCallee(blob []byte, table []int) {
+	i := int(binary.LittleEndian.Uint32(blob))
+	helper.FillChecked(table, i, 1) // ok: the callee validates internally, no SinkParams fact
+}

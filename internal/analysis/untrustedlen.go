@@ -1,0 +1,1560 @@
+package analysis
+
+// untrustedlen: interprocedural taint analysis for integers decoded from
+// untrusted page bytes. Built on the SSA-lite layer (ssa.go): every
+// function body is lowered to def-use chains, each Value gets a taint —
+// a small numeric lattice — by a fixed-point over the value graph, and a
+// structural walk then replays the body refining taints at dominating
+// bounds checks and flagging taint that reaches a sink unrefined.
+//
+// The lattice per value is (level, hi, neg):
+//
+//	level:  Clean < Bounded < Wild. Wild is attacker-chosen with no
+//	        dominating check; Bounded passed a structural bounds check
+//	        against the blob length or a declared cap.
+//	hi:     saturating upper bound on the value's magnitude; arithmetic
+//	        propagates it with saturating add/mul so a 16-bit count
+//	        times a record size stays provably small.
+//	neg:    the value may be negative (signed decodes, subtraction,
+//	        same-width reinterpreting conversions).
+//
+// Sources are the encoding/binary decodes (LittleEndian/BigEndian
+// Uint16/32/64, Uvarint/Varint and their Read variants) plus any call
+// whose callee carries a TaintResults fact. Sinks are make sizes, slice
+// indexing and reslicing, narrowing integer conversions, and calls whose
+// callee carries a SinkParams fact. Sanitizers are dominating
+// comparisons against a constant, a clean expression (len(blob)), or a
+// strictly-less-tainted expression; the //rstknn:validated directive is
+// the escape hatch for bounds the walker cannot prove.
+//
+// Guard arithmetic is judged at the WEAKEST platform width: a check like
+// "if len(buf) < 4+n*12" is rejected — with an explanatory note on the
+// diagnostic — when 4+n*12 can exceed MaxInt32, because on a 32-bit
+// platform the computed guard expression wraps and the comparison proves
+// nothing. Value magnitudes themselves use 64-bit int semantics (the
+// supported build targets); rewriting the guard in division form
+// ("if n > (len(buf)-4)/12") keeps it exact at every width.
+//
+// Taint crosses function and package boundaries through the facts codec
+// (facts.go, v3): a function whose integer result derives from a decode
+// exports a TaintResults entry, and callers treat the call exactly like
+// a local decode; a function that feeds a parameter into a sink without
+// validating it exports a SinkParams entry, and the CALL SITE is flagged
+// when a tainted argument flows in.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"sort"
+)
+
+// UntrustedLen flags untrusted decoded integers reaching allocation,
+// indexing, or narrowing sinks without a dominating bounds check.
+var UntrustedLen = &Analyzer{
+	Name: "untrustedlen",
+	Doc: "lengths, counts, and offsets decoded from untrusted page bytes must pass " +
+		"a dominating bounds check before reaching a make size, a slice index or " +
+		"reslice, or a narrowing integer conversion",
+	Run: runUntrustedLen,
+}
+
+func runUntrustedLen(p *Pass) error {
+	for _, n := range p.Facts.Nodes() {
+		if n.taint == nil {
+			continue
+		}
+		for _, f := range n.taint.findings {
+			p.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------------
+// Taint lattice
+
+type taintLevel uint8
+
+const (
+	taintClean taintLevel = iota
+	taintBounded
+	taintWild
+)
+
+// taint is the abstract value of one SSA-lite Value or expression.
+type taint struct {
+	level taintLevel
+	// hi is a saturating bound on the magnitude.
+	hi uint64
+	// neg marks possibly-negative values.
+	neg bool
+	// local marks taint that originates in a decode visible to this
+	// function (directly or via a callee's TaintResults fact): findings
+	// are reported here.
+	local bool
+	// params is a bitmask of the signature parameters the taint derives
+	// from: findings become SinkParams facts charged to the call sites.
+	params uint64
+	// why describes the originating source for diagnostics.
+	why string
+	// pos is the source position.
+	pos token.Pos
+}
+
+func (t taint) tainted() bool { return t.level > taintClean }
+
+// joinTaint is the lattice join (control-flow merge).
+func joinTaint(a, b taint) taint {
+	out := a
+	if b.level > out.level || out.why == "" {
+		out.why, out.pos = b.why, b.pos
+	}
+	if b.level > out.level {
+		out.level = b.level
+	}
+	if b.hi > out.hi {
+		out.hi = b.hi
+	}
+	out.neg = a.neg || b.neg
+	out.local = a.local || b.local
+	out.params = a.params | b.params
+	return out
+}
+
+func satAdd(a, b uint64) uint64 {
+	if a+b < a {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+func satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxUint64/b {
+		return math.MaxUint64
+	}
+	return a * b
+}
+
+// ------------------------------------------------------------------
+// Integer type geometry
+
+func basicOf(t types.Type) *types.Basic {
+	if t == nil {
+		return nil
+	}
+	b, _ := t.Underlying().(*types.Basic)
+	return b
+}
+
+func isIntType(t types.Type) bool {
+	b := basicOf(t)
+	return b != nil && b.Info()&types.IsInteger != 0
+}
+
+func isSignedType(t types.Type) bool {
+	b := basicOf(t)
+	return b != nil && b.Info()&types.IsInteger != 0 && b.Info()&types.IsUnsigned == 0
+}
+
+// intWidth returns the bit width of an integer type; int, uint, and
+// uintptr count as 64 (the supported build targets).
+func intWidth(t types.Type) int {
+	switch basicOf(t).Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// maxMag returns the largest magnitude an integer type can hold
+// (1<<(w-1) for signed types: the most-negative value).
+func maxMag(t types.Type) uint64 {
+	if !isIntType(t) {
+		return 0
+	}
+	w := intWidth(t)
+	if isSignedType(t) {
+		return 1 << (w - 1)
+	}
+	if w == 64 {
+		return math.MaxUint64
+	}
+	return 1<<w - 1
+}
+
+// guardMax returns the largest value a guard expression of type t can
+// compute without overflowing on ANY supported platform: int and uint
+// are judged at 32 bits, explicit widths at their own.
+func guardMax(t types.Type) uint64 {
+	b := basicOf(t)
+	if b == nil || b.Info()&types.IsInteger == 0 {
+		return math.MaxUint64
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return math.MaxInt8
+	case types.Int16:
+		return math.MaxInt16
+	case types.Int32, types.Int, types.UntypedInt:
+		return math.MaxInt32
+	case types.Int64:
+		return math.MaxInt64
+	case types.Uint8:
+		return math.MaxUint8
+	case types.Uint16:
+		return math.MaxUint16
+	case types.Uint32, types.Uint, types.Uintptr:
+		return math.MaxUint32
+	default:
+		return math.MaxUint64
+	}
+}
+
+// ------------------------------------------------------------------
+// Scanner
+
+type taintFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// taintScan is the per-function result: local findings to report, plus
+// the result/parameter facts to export.
+type taintScan struct {
+	findings  []taintFinding
+	results   []TaintSpec
+	sinks     []SinkSpec
+	validated int
+}
+
+type taintScanner struct {
+	pf   *PkgFacts
+	info *types.Info
+	n    *FuncNode
+	ssa  *FuncSSA
+	dirs *directiveIndex
+
+	// base holds the flow-insensitive fixed-point taint of every Value.
+	base map[*Value]taint
+	// notes records why a bounds check over a value was rejected
+	// (guard-width overflow); attached to diagnostics on that value.
+	notes map[*Value]string
+	// resT accumulates the joined taint of each return-result index.
+	resT map[int]taint
+	// sinkSeen dedups exported SinkSpecs by (param, kind).
+	sinkSeen map[string]bool
+
+	out *taintScan
+}
+
+// scanUntrusted runs the taint analysis over one function, caching the
+// SSA form on the node (the scan itself reruns every fact round).
+func scanUntrusted(pf *PkgFacts, info *types.Info, n *FuncNode, dirs *directiveIndex) *taintScan {
+	if !n.ssaTried {
+		n.ssaTried = true
+		n.ssa = BuildSSA(n.Decl, info)
+	}
+	if n.ssa == nil {
+		return &taintScan{}
+	}
+	sc := &taintScanner{
+		pf:       pf,
+		info:     info,
+		n:        n,
+		ssa:      n.ssa,
+		dirs:     dirs,
+		base:     make(map[*Value]taint),
+		notes:    make(map[*Value]string),
+		resT:     make(map[int]taint),
+		sinkSeen: make(map[string]bool),
+		out:      &taintScan{},
+	}
+	sc.solveBase()
+	w := &walker{sc: sc, env: make(map[*Value]taint)}
+	w.walkStmts(n.Decl.Body.List)
+	sc.finish()
+	return sc.out
+}
+
+// solveBase computes the flow-insensitive taint of every Value by
+// iterating the value graph to a fixed point. Loop-carried accumulation
+// (off += sz) grows hi every round; after a grace period the still-
+// growing bound is widened to saturation so the iteration terminates.
+func (sc *taintScanner) solveBase() {
+	for round := 0; round < 64; round++ {
+		changed := false
+		for _, v := range sc.ssa.Values {
+			nt := sc.baseTaintOf(v)
+			old := sc.base[v]
+			if round >= 3 && nt.tainted() && nt.hi > old.hi && old.level == nt.level {
+				nt.hi = math.MaxUint64
+			}
+			if nt != old {
+				sc.base[v] = nt
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func (sc *taintScanner) baseTaintOf(v *Value) taint {
+	switch v.Kind {
+	case ValParam:
+		if v.ParamIdx >= 0 && v.ParamIdx < 64 && isIntType(v.Var.Type()) {
+			return taint{
+				level:  taintWild,
+				hi:     maxMag(v.Var.Type()),
+				neg:    isSignedType(v.Var.Type()),
+				params: 1 << uint(v.ParamIdx),
+				why:    "parameter " + v.Var.Name(),
+				pos:    v.Pos,
+			}
+		}
+		return taint{}
+	case ValPhi:
+		var out taint
+		for i, op := range v.Ops {
+			if i == 0 {
+				out = sc.base[op]
+			} else {
+				out = joinTaint(out, sc.base[op])
+			}
+		}
+		return out
+	case ValDef:
+		if v.Prev != nil {
+			prev := sc.base[v.Prev]
+			var rhs taint
+			switch v.Op {
+			case token.INC, token.DEC:
+				rhs = taint{hi: 1}
+			default:
+				rhs = sc.evalN(v.Expr, -1, nil)
+			}
+			return combine(opAssignOp(v.Op), prev, rhs, v.Var.Type())
+		}
+		if v.Expr != nil {
+			t := sc.evalN(v.Expr, v.ResIdx, nil)
+			return t
+		}
+	}
+	return taint{}
+}
+
+// opAssignOp maps an op-assign or inc/dec token to its binary operator.
+func opAssignOp(op token.Token) token.Token {
+	switch op {
+	case token.ADD_ASSIGN, token.INC:
+		return token.ADD
+	case token.SUB_ASSIGN, token.DEC:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	}
+	return op
+}
+
+// taintOf resolves a Value's taint, preferring the walker's refined
+// environment; phi values re-join their operands through the
+// environment so a refinement flows across merges.
+func (sc *taintScanner) taintOf(v *Value, env map[*Value]taint, seen map[*Value]bool) taint {
+	if env != nil {
+		if t, ok := env[v]; ok {
+			return t
+		}
+		if v.Kind == ValPhi {
+			if seen == nil {
+				seen = make(map[*Value]bool)
+			}
+			if !seen[v] {
+				seen[v] = true
+				var out taint
+				for i, op := range v.Ops {
+					t := sc.taintOf(op, env, seen)
+					if i == 0 {
+						out = t
+					} else {
+						out = joinTaint(out, t)
+					}
+				}
+				return out
+			}
+		}
+	}
+	return sc.base[v]
+}
+
+// ------------------------------------------------------------------
+// Expression evaluation
+
+func constTaint(cv constant.Value) taint {
+	if cv.Kind() != constant.Int {
+		return taint{}
+	}
+	if i, ok := constant.Int64Val(cv); ok {
+		if i < 0 {
+			return taint{hi: uint64(-(i + 1)) + 1, neg: true}
+		}
+		return taint{hi: uint64(i)}
+	}
+	if u, ok := constant.Uint64Val(cv); ok {
+		return taint{hi: u}
+	}
+	return taint{hi: math.MaxUint64}
+}
+
+// cleanOf is the taint of a trusted expression of the given type: Clean,
+// but with the type's full magnitude so arithmetic with tainted values
+// stays a sound bound.
+func cleanOf(t types.Type) taint {
+	return taint{hi: maxMag(t)}
+}
+
+func (sc *taintScanner) eval(e ast.Expr, env map[*Value]taint) taint {
+	return sc.evalN(e, -1, env)
+}
+
+// evalN evaluates an expression's taint; resIdx selects the tuple result
+// when e is a multi-value call consumed by a tuple assignment.
+func (sc *taintScanner) evalN(e ast.Expr, resIdx int, env map[*Value]taint) taint {
+	if e == nil {
+		return taint{}
+	}
+	if tv, ok := sc.info.Types[e]; ok && tv.Value != nil {
+		return constTaint(tv.Value)
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return sc.evalN(e.X, resIdx, env)
+	case *ast.Ident:
+		if v := sc.ssa.UseDef[e]; v != nil {
+			return sc.taintOf(v, env, nil)
+		}
+		return cleanOf(sc.info.TypeOf(e))
+	case *ast.CallExpr:
+		return sc.evalCall(e, resIdx, env)
+	case *ast.BinaryExpr:
+		a := sc.eval(e.X, env)
+		b := sc.eval(e.Y, env)
+		return combine2(e.Op, a, b, sc.info.TypeOf(e), sc.info, e.Y)
+	case *ast.UnaryExpr:
+		return sc.evalUnary(e, env)
+	default:
+		// Loads (fields, indexing, derefs) and everything unmodeled:
+		// trusted (the analysis is field-insensitive by design).
+		return cleanOf(sc.info.TypeOf(e))
+	}
+}
+
+func (sc *taintScanner) evalUnary(e *ast.UnaryExpr, env map[*Value]taint) taint {
+	a := sc.eval(e.X, env)
+	switch e.Op {
+	case token.ADD:
+		return a
+	case token.SUB:
+		a.neg = true
+		return a
+	case token.XOR:
+		a.hi = maxMag(sc.info.TypeOf(e))
+		a.neg = isSignedType(sc.info.TypeOf(e))
+		return a
+	}
+	return cleanOf(sc.info.TypeOf(e))
+}
+
+// combine propagates taint through one binary operation without constant
+// context (op-assign path).
+func combine(op token.Token, a, b taint, t types.Type) taint {
+	return combine2(op, a, b, t, nil, nil)
+}
+
+// combine2 propagates taint through a binary operation. info/rhs, when
+// available, let division and masking by a constant tighten the bound.
+func combine2(op token.Token, a, b taint, t types.Type, info *types.Info, rhs ast.Expr) taint {
+	out := joinTaint(a, b)
+	out.pos = a.pos
+	if a.level < b.level {
+		out.why, out.pos = b.why, b.pos
+	} else {
+		out.why = a.why
+	}
+	switch op {
+	case token.ADD:
+		out.hi = satAdd(a.hi, b.hi)
+	case token.SUB:
+		if !isSignedType(t) {
+			// Unsigned subtraction wraps: the full type range.
+			out.hi = maxMag(t)
+			out.neg = false
+		} else {
+			out.hi = satAdd(a.hi, b.hi)
+			out.neg = a.neg || b.hi > 0
+		}
+	case token.MUL:
+		out.hi = satMul(a.hi, b.hi)
+	case token.QUO:
+		out.hi = a.hi
+		if b.level == taintClean && !b.neg && b.hi > 1 {
+			out.hi = a.hi / b.hi
+		}
+	case token.REM:
+		out.hi = a.hi
+		out.neg = a.neg
+		if b.level == taintClean && b.hi > 0 {
+			out.hi = b.hi - 1
+			if out.level > taintBounded {
+				out.level = taintBounded
+			}
+		}
+	case token.AND:
+		// Masking with a clean non-negative mask bounds the result.
+		if b.level == taintClean && !b.neg {
+			out.hi = b.hi
+			out.neg = false
+			if out.level > taintBounded {
+				out.level = taintBounded
+			}
+		} else if a.level == taintClean && !a.neg {
+			out.hi = a.hi
+			out.neg = false
+			if out.level > taintBounded {
+				out.level = taintBounded
+			}
+		}
+	case token.AND_NOT:
+		out.hi = a.hi
+		out.neg = a.neg
+	case token.OR, token.XOR:
+		out.hi = roundUpPow2(maxU64(a.hi, b.hi))
+		out.neg = a.neg || b.neg || (op == token.XOR && isSignedType(t))
+	case token.SHL:
+		if c, ok := constIntOf(info, rhs); ok && c >= 0 && c < 64 {
+			out.hi = satMul(a.hi, 1<<uint(c))
+		} else {
+			out.hi = maxMag(t)
+		}
+		out.neg = a.neg
+	case token.SHR:
+		out.hi = a.hi
+		if c, ok := constIntOf(info, rhs); ok && c >= 0 && c < 64 {
+			out.hi = a.hi >> uint(c)
+		}
+		out.neg = a.neg
+	default:
+		// Comparisons and logical ops produce booleans.
+		return taint{}
+	}
+	return out
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func roundUpPow2(v uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	out := uint64(1)
+	for out <= v/2 {
+		out *= 2
+	}
+	if out*2-1 < v {
+		return math.MaxUint64
+	}
+	return out*2 - 1
+}
+
+func constIntOf(info *types.Info, e ast.Expr) (int64, bool) {
+	if info == nil || e == nil {
+		return 0, false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// evalCall handles conversions, bounding builtins, the encoding/binary
+// sources, and callee TaintResults facts.
+func (sc *taintScanner) evalCall(call *ast.CallExpr, resIdx int, env map[*Value]taint) taint {
+	if tv, ok := sc.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		a := sc.eval(call.Args[0], env)
+		return convTaint(a, sc.info.TypeOf(call.Args[0]), tv.Type)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := sc.info.Uses[id].(*types.Builtin); ok {
+			switch bi.Name() {
+			case "len", "cap":
+				return taint{hi: math.MaxInt64}
+			case "min":
+				return sc.foldArgs(call, env, minTaint)
+			case "max":
+				return sc.foldArgs(call, env, maxTaint)
+			}
+			return taint{}
+		}
+	}
+	if fn := staticCallee(sc.info, call); fn != nil {
+		if t, ok := binarySource(sc.pf.fset, fn, resIdx, call.Pos()); ok {
+			return t
+		}
+		if s := sc.pf.SummaryOf(fn); s != nil {
+			want := resIdx
+			if want < 0 {
+				want = 0
+			}
+			for _, spec := range s.TaintResults {
+				if spec.Result != want {
+					continue
+				}
+				level := taintBounded
+				if spec.Level == "wild" {
+					level = taintWild
+				}
+				why := spec.Why
+				if why == "" {
+					why = "the untrusted result of " + funcDisplay(fn, sc.pf.pkg)
+				}
+				return taint{level: level, hi: spec.Hi, neg: spec.Neg, local: true, why: why, pos: call.Pos()}
+			}
+		}
+	}
+	return cleanOf(sc.info.TypeOf(call))
+}
+
+func (sc *taintScanner) foldArgs(call *ast.CallExpr, env map[*Value]taint, f func(a, b taint) taint) taint {
+	var out taint
+	for i, arg := range call.Args {
+		t := sc.eval(arg, env)
+		if i == 0 {
+			out = t
+		} else {
+			out = f(out, t)
+		}
+	}
+	return out
+}
+
+// minTaint: min(x, cap) is bounded by its cleanest, smallest operand.
+func minTaint(a, b taint) taint {
+	out := joinTaint(a, b)
+	out.hi = a.hi
+	if b.hi < out.hi {
+		out.hi = b.hi
+	}
+	if a.level == taintClean || b.level == taintClean {
+		if out.level > taintBounded {
+			out.level = taintBounded
+		}
+	}
+	return out
+}
+
+// maxTaint: max(x, 0) clears negativity.
+func maxTaint(a, b taint) taint {
+	out := joinTaint(a, b)
+	out.neg = a.neg && b.neg
+	return out
+}
+
+// binarySource recognizes the encoding/binary decode entry points.
+func binarySource(fset *token.FileSet, fn *types.Func, resIdx int, pos token.Pos) (taint, bool) {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+		return taint{}, false
+	}
+	at := shortPos(fset, pos)
+	if resIdx < 0 {
+		resIdx = 0
+	}
+	wild := func(bits int, hi uint64, neg bool) taint {
+		return taint{
+			level: taintWild, hi: hi, neg: neg, local: true, pos: pos,
+			why: fmt.Sprintf("a %d-bit value decoded from untrusted bytes at %s", bits, at),
+		}
+	}
+	varlen := func(name string) taint {
+		return taint{
+			level: taintBounded, hi: 10, neg: true, local: true, pos: pos,
+			why: fmt.Sprintf("the byte count of %s at %s", name, at),
+		}
+	}
+	switch fn.Name() {
+	case "Uint16":
+		return wild(16, math.MaxUint16, false), true
+	case "Uint32":
+		return wild(32, math.MaxUint32, false), true
+	case "Uint64":
+		return wild(64, math.MaxUint64, false), true
+	case "Uvarint", "ReadUvarint":
+		if resIdx == 0 {
+			return wild(64, math.MaxUint64, false), true
+		}
+		if fn.Name() == "Uvarint" {
+			return varlen("binary.Uvarint"), true
+		}
+	case "Varint", "ReadVarint":
+		if resIdx == 0 {
+			return wild(64, math.MaxUint64, true), true
+		}
+		if fn.Name() == "Varint" {
+			return varlen("binary.Varint"), true
+		}
+	}
+	return taint{}, false
+}
+
+// convTaint models an integer conversion. Widening keeps the taint
+// (reinterpreting a possible negative as unsigned saturates the bound);
+// same-width conversions reinterpret in place — deliberately NOT a sink,
+// the codebase's typed-ID casts are same-width — and narrowing clamps to
+// the target (the sink check itself happens in the walker, on the
+// operand's pre-conversion taint).
+func convTaint(a taint, src, dst types.Type) taint {
+	if !isIntType(dst) {
+		return taint{}
+	}
+	if !isIntType(src) {
+		return cleanOf(dst)
+	}
+	dw, sw := intWidth(dst), intWidth(src)
+	dmax := maxMag(dst)
+	switch {
+	case dw > sw:
+		if a.neg && !isSignedType(dst) {
+			a.hi = dmax
+			a.neg = false
+		}
+	case dw == sw:
+		if isSignedType(src) != isSignedType(dst) {
+			if !isSignedType(dst) {
+				if a.neg {
+					a.hi = dmax
+					a.neg = false
+				}
+			} else if a.hi > dmax {
+				a.hi = dmax
+				a.neg = true
+			}
+		}
+	default: // narrowing: truncation can land anywhere in the target
+		if a.hi > dmax || a.neg {
+			a.hi = dmax
+			a.neg = isSignedType(dst)
+		}
+	}
+	return a
+}
+
+// ------------------------------------------------------------------
+// Structural walker: sanitizer refinement + sink detection
+
+// walker replays the function body in textual order. env overrides the
+// base taint of Values refined by dominating checks; refinements are
+// keyed to immutable SSA Values, so once established on the fallthrough
+// path they hold for the rest of the enclosing branch body. Branch
+// bodies get a copy of env, so branch-local refinements cannot leak.
+type walker struct {
+	sc  *taintScanner
+	env map[*Value]taint
+}
+
+func copyEnv(env map[*Value]taint) map[*Value]taint {
+	out := make(map[*Value]taint, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func (w *walker) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.walkStmt(s)
+	}
+}
+
+func (w *walker) inEnv(env map[*Value]taint, f func()) {
+	saved := w.env
+	w.env = env
+	f()
+	w.env = saved
+}
+
+func (w *walker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.checkSinks(s.Cond)
+		trueRefs := w.sc.parseCond(s.Cond, true, w.env)
+		falseRefs := w.sc.parseCond(s.Cond, false, w.env)
+		thenEnv := copyEnv(w.env)
+		applyRefs(w.sc, thenEnv, trueRefs)
+		w.inEnv(thenEnv, func() { w.walkStmts(s.Body.List) })
+		if s.Else != nil {
+			elseEnv := copyEnv(w.env)
+			applyRefs(w.sc, elseEnv, falseRefs)
+			w.inEnv(elseEnv, func() { w.walkStmt(s.Else) })
+			if terminates(s.Else) {
+				applyRefs(w.sc, w.env, trueRefs)
+			}
+		}
+		if terminates(s.Body) {
+			applyRefs(w.sc, w.env, falseRefs)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		var falseRefs []refinement
+		bodyEnv := copyEnv(w.env)
+		if s.Cond != nil {
+			w.checkSinks(s.Cond)
+			applyRefs(w.sc, bodyEnv, w.sc.parseCond(s.Cond, true, w.env))
+			falseRefs = w.sc.parseCond(s.Cond, false, w.env)
+		}
+		w.inEnv(bodyEnv, func() {
+			w.walkStmts(s.Body.List)
+			if s.Post != nil {
+				w.walkStmt(s.Post)
+			}
+		})
+		if s.Cond != nil && !hasLoopBreak(s.Body) {
+			applyRefs(w.sc, w.env, falseRefs)
+		}
+	case *ast.RangeStmt:
+		w.checkSinks(s.X)
+		bodyEnv := copyEnv(w.env)
+		w.inEnv(bodyEnv, func() {
+			w.applyDefs(s)
+			w.walkStmts(s.Body.List)
+		})
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.checkSinks(s.Tag)
+		}
+		for _, cs := range s.Body.List {
+			cc, ok := cs.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				w.checkSinks(e)
+			}
+			caseEnv := copyEnv(w.env)
+			w.inEnv(caseEnv, func() { w.walkStmts(cc.Body) })
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		for _, cs := range s.Body.List {
+			cc, ok := cs.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			caseEnv := copyEnv(w.env)
+			w.inEnv(caseEnv, func() { w.walkStmts(cc.Body) })
+		}
+	case *ast.SelectStmt:
+		for _, cs := range s.Body.List {
+			cc, ok := cs.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseEnv := copyEnv(w.env)
+			w.inEnv(caseEnv, func() {
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm)
+				}
+				w.walkStmts(cc.Body)
+			})
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.ReturnStmt:
+		w.checkSinks(s)
+		w.recordReturn(s)
+	case *ast.DeferStmt:
+		w.checkSinks(s.Call)
+	case *ast.GoStmt:
+		w.checkSinks(s.Call)
+	case nil:
+	default:
+		w.checkSinks(s)
+		w.applyDefs(s)
+	}
+}
+
+// applyDefs recomputes the taint of every Value the statement defines
+// under the current refined environment, so refinements flow through
+// subsequent local definitions (need := 4 + n*12 after n was checked).
+func (w *walker) applyDefs(s ast.Stmt) {
+	ast.Inspect(s, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := w.sc.ssa.DefIdent[id]
+		if v == nil {
+			return true
+		}
+		w.env[v] = w.recomputeDef(v)
+		return true
+	})
+}
+
+func (w *walker) recomputeDef(v *Value) taint {
+	switch v.Kind {
+	case ValDef:
+		if v.Prev != nil {
+			prev := w.sc.taintOf(v.Prev, w.env, nil)
+			var rhs taint
+			switch v.Op {
+			case token.INC, token.DEC:
+				rhs = taint{hi: 1}
+			default:
+				rhs = w.sc.evalN(v.Expr, -1, w.env)
+			}
+			return combine(opAssignOp(v.Op), prev, rhs, v.Var.Type())
+		}
+		return w.sc.evalN(v.Expr, v.ResIdx, w.env)
+	}
+	return w.sc.base[v]
+}
+
+func (w *walker) recordReturn(s *ast.ReturnStmt) {
+	sig, ok := w.sc.n.Obj.Type().(*types.Signature)
+	if !ok || len(s.Results) != sig.Results().Len() {
+		return // bare returns and tuple-forwarding returns are not modeled
+	}
+	for i, res := range s.Results {
+		if !isIntType(sig.Results().At(i).Type()) {
+			continue
+		}
+		t := w.sc.eval(res, w.env)
+		if !t.tainted() || !t.local {
+			continue
+		}
+		if old, ok := w.sc.resT[i]; ok {
+			w.sc.resT[i] = joinTaint(old, t)
+		} else {
+			w.sc.resT[i] = t
+		}
+	}
+}
+
+// terminates reports whether the statement never falls through to the
+// code after it (return, panic, break/continue/goto, or a block/if that
+// ends that way on every path).
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok != token.FALLTHROUGH
+	case *ast.ExprStmt:
+		return isPanicCall(s.X)
+	case *ast.BlockStmt:
+		return len(s.List) > 0 && terminates(s.List[len(s.List)-1])
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && terminates(s.Else)
+	case *ast.LabeledStmt:
+		return terminates(s.Stmt)
+	}
+	return false
+}
+
+// hasLoopBreak reports an unlabeled break that exits this loop.
+func hasLoopBreak(body *ast.BlockStmt) bool {
+	found := false
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && n.Label == nil {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			// break inside a switch breaks the switch, not the loop.
+			return false
+		}
+		return !found
+	}
+	ast.Inspect(body, visit)
+	return found
+}
+
+// ------------------------------------------------------------------
+// Sanitizer: condition parsing and refinement
+
+// refinement upgrades one Value's taint on a branch.
+type refinement struct {
+	v *Value
+	// toBounded demotes Wild to Bounded (checked against a run-time
+	// quantity like len(blob)).
+	toBounded bool
+	// hasUpper/upper install a numeric magnitude bound.
+	hasUpper bool
+	upper    uint64
+	// nonneg clears the may-be-negative bit.
+	nonneg bool
+}
+
+func applyRefs(sc *taintScanner, env map[*Value]taint, refs []refinement) {
+	for _, r := range refs {
+		t := sc.taintOf(r.v, env, nil)
+		if r.toBounded && t.level > taintBounded {
+			t.level = taintBounded
+		}
+		if r.hasUpper && r.upper < t.hi {
+			t.hi = r.upper
+		}
+		if r.nonneg {
+			t.neg = false
+		}
+		env[r.v] = t
+	}
+}
+
+// parseCond extracts the refinements the condition establishes on the
+// given branch. Conjunctions refine on the true branch, disjunctions on
+// the false branch; anything else contributes nothing.
+func (sc *taintScanner) parseCond(cond ast.Expr, branch bool, env map[*Value]taint) []refinement {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return sc.parseCond(e.X, !branch, env)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if branch {
+				return append(sc.parseCond(e.X, true, env), sc.parseCond(e.Y, true, env)...)
+			}
+		case token.LOR:
+			if !branch {
+				return append(sc.parseCond(e.X, false, env), sc.parseCond(e.Y, false, env)...)
+			}
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			return sc.parseCmp(e, branch, env)
+		}
+	}
+	return nil
+}
+
+// parseCmp normalizes a comparison taken on the given branch to the
+// canonical form "lhs ≤/< rhs" and derives upper-bound refinements on
+// the lhs roots plus non-negativity refinements on the rhs roots.
+func (sc *taintScanner) parseCmp(e *ast.BinaryExpr, branch bool, env map[*Value]taint) []refinement {
+	op := e.Op
+	if !branch {
+		switch op {
+		case token.LSS:
+			op = token.GEQ
+		case token.LEQ:
+			op = token.GTR
+		case token.GTR:
+			op = token.LEQ
+		case token.GEQ:
+			op = token.LSS
+		case token.EQL:
+			op = token.NEQ
+		case token.NEQ:
+			op = token.EQL
+		}
+	}
+	x, y := e.X, e.Y
+	var lhs, rhs ast.Expr
+	strict := false
+	switch op {
+	case token.LSS:
+		lhs, rhs, strict = x, y, true
+	case token.LEQ:
+		lhs, rhs = x, y
+	case token.GTR:
+		lhs, rhs, strict = y, x, true
+	case token.GEQ:
+		lhs, rhs = y, x
+	case token.EQL:
+		return sc.parseEq(x, y, env)
+	default: // NEQ establishes nothing usable
+		return nil
+	}
+	var refs []refinement
+	refs = append(refs, sc.upperRefs(lhs, rhs, strict, e.Pos(), env)...)
+	refs = append(refs, sc.lowerRefs(rhs, lhs, strict, env)...)
+	return refs
+}
+
+// parseEq handles equality against a constant: the value is exactly c.
+func (sc *taintScanner) parseEq(x, y ast.Expr, env map[*Value]taint) []refinement {
+	e, c := x, y
+	cv, ok := constIntOf(sc.info, c)
+	if !ok {
+		e, c = y, x
+		if cv, ok = constIntOf(sc.info, c); !ok {
+			return nil
+		}
+	}
+	mag := uint64(cv)
+	if cv < 0 {
+		mag = uint64(-cv)
+	}
+	var refs []refinement
+	for _, root := range sc.extractRoots(e, 1, 0, 0, true, token.NoPos, env) {
+		refs = append(refs, refinement{v: root.v, toBounded: true, hasUpper: true, upper: mag, nonneg: cv >= 0})
+	}
+	return refs
+}
+
+// upperRefs refines the roots of lhs given "lhs ≤ rhs" (or < when
+// strict). The bound side must be strictly less tainted than the value
+// being checked — comparing two attacker-chosen quantities proves
+// nothing.
+func (sc *taintScanner) upperRefs(lhs, rhs ast.Expr, strict bool, pos token.Pos, env map[*Value]taint) []refinement {
+	lt := sc.eval(lhs, env)
+	if !lt.tainted() {
+		return nil
+	}
+	var bound uint64
+	hasBound := false
+	toBounded := false
+	if c, ok := constIntOf(sc.info, rhs); ok {
+		if c < 0 || (strict && c == 0) {
+			return nil
+		}
+		bound = uint64(c)
+		if strict {
+			bound--
+		}
+		hasBound = true
+		toBounded = true
+	} else {
+		rt := sc.eval(rhs, env)
+		if rt.level >= lt.level {
+			return nil
+		}
+		toBounded = true
+		if rt.level == taintBounded && rt.hi > 0 && rt.hi < math.MaxInt64 {
+			bound = rt.hi
+			if strict {
+				bound--
+			}
+			hasBound = true
+		}
+	}
+	var refs []refinement
+	for _, root := range sc.extractRoots(lhs, 1, 0, 0, true, pos, env) {
+		r := refinement{v: root.v, toBounded: toBounded}
+		if hasBound {
+			if b, ok := rootBound(bound, root.mulA, root.addC); ok {
+				r.hasUpper = true
+				r.upper = b
+			}
+		}
+		refs = append(refs, r)
+	}
+	return refs
+}
+
+// lowerRefs clears negativity on the roots of e given "e ≥ lo" when the
+// implied lower bound is non-negative (if id < 0 { return } — the
+// fallthrough path has id ≥ 0).
+func (sc *taintScanner) lowerRefs(e, lo ast.Expr, strict bool, env map[*Value]taint) []refinement {
+	c, ok := constIntOf(sc.info, lo)
+	if !ok {
+		return nil
+	}
+	lb := c
+	if strict {
+		lb++
+	}
+	var refs []refinement
+	for _, root := range sc.extractRoots(e, 1, 0, 0, true, token.NoPos, env) {
+		// e = mulA*root + addC ≥ lb with mulA > 0 → root ≥ (lb-addC)/mulA.
+		if root.mulA > 0 && lb-root.addC >= 0 {
+			refs = append(refs, refinement{v: root.v, nonneg: true})
+		}
+	}
+	return refs
+}
+
+// rootBound solves mulA*root + addC ≤ bound for root's magnitude.
+func rootBound(bound uint64, mulA, addC int64) (uint64, bool) {
+	if mulA <= 0 {
+		return 0, false
+	}
+	b := int64(math.MaxInt64)
+	if bound < math.MaxInt64 {
+		b = int64(bound)
+	}
+	num := b - addC
+	if num < 0 {
+		return 0, false
+	}
+	return uint64(num / mulA), true
+}
+
+// rootRef ties a Value to its affine relation with the guarded
+// expression: expr = mulA*value + addC (monotone, mulA > 0).
+type rootRef struct {
+	v    *Value
+	mulA int64
+	addC int64
+}
+
+// extractRoots walks a guarded expression down to the Values it is a
+// monotone affine function of, descending through local definitions
+// (need := 4 + n*12 reaches n). Arithmetic that can overflow the guard
+// expression's weakest-platform width invalidates the check: descent
+// continues note-only (ok=false), recording why on each would-be root so
+// the eventual diagnostic explains the ignored bounds check.
+func (sc *taintScanner) extractRoots(e ast.Expr, mulA, addC int64, depth int, ok bool, guardPos token.Pos, env map[*Value]taint) []rootRef {
+	if depth > 8 || mulA <= 0 {
+		return nil
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v := sc.ssa.UseDef[e]
+		if v == nil {
+			return nil
+		}
+		var roots []rootRef
+		if ok {
+			roots = append(roots, rootRef{v: v, mulA: mulA, addC: addC})
+		} else if guardPos.IsValid() {
+			if _, dup := sc.notes[v]; !dup {
+				sc.notes[v] = fmt.Sprintf("the bounds check at %s is ignored: the guard arithmetic may overflow on 32-bit platforms",
+					shortPos(sc.pf.fset, guardPos))
+			}
+		}
+		if v.Kind == ValDef && v.Prev == nil && v.Expr != nil {
+			roots = append(roots, sc.extractRoots(v.Expr, mulA, addC, depth+1, ok, guardPos, env)...)
+		}
+		return roots
+	case *ast.CallExpr:
+		if tv, tok := sc.info.Types[e.Fun]; tok && tv.IsType() && len(e.Args) == 1 {
+			return sc.extractRoots(e.Args[0], mulA, addC, depth+1, ok, guardPos, env)
+		}
+		return nil
+	case *ast.BinaryExpr:
+		stepOK := ok && sc.guardFits(e, env)
+		switch e.Op {
+		case token.ADD:
+			if k, isC := constIntOf(sc.info, e.Y); isC {
+				return sc.extractRoots(e.X, mulA, addC+mulA*k, depth+1, stepOK, guardPos, env)
+			}
+			if k, isC := constIntOf(sc.info, e.X); isC {
+				return sc.extractRoots(e.Y, mulA, addC+mulA*k, depth+1, stepOK, guardPos, env)
+			}
+		case token.SUB:
+			if k, isC := constIntOf(sc.info, e.Y); isC {
+				return sc.extractRoots(e.X, mulA, addC-mulA*k, depth+1, stepOK, guardPos, env)
+			}
+		case token.MUL:
+			if k, isC := constIntOf(sc.info, e.Y); isC && k > 0 {
+				return sc.extractRoots(e.X, mulA*k, addC, depth+1, stepOK, guardPos, env)
+			}
+			if k, isC := constIntOf(sc.info, e.X); isC && k > 0 {
+				return sc.extractRoots(e.Y, mulA*k, addC, depth+1, stepOK, guardPos, env)
+			}
+		}
+	}
+	return nil
+}
+
+// guardFits reports whether the guard arithmetic provably cannot
+// overflow the expression's weakest-platform width.
+func (sc *taintScanner) guardFits(e ast.Expr, env map[*Value]taint) bool {
+	t := sc.eval(e, env)
+	return t.hi <= guardMax(sc.info.TypeOf(e))
+}
+
+// ------------------------------------------------------------------
+// Sinks
+
+const (
+	sinkAlloc  = "alloc"
+	sinkIndex  = "index"
+	sinkNarrow = "narrow"
+)
+
+// checkSinks scans one statement or expression for taint sinks under the
+// walker's current environment.
+func (w *walker) checkSinks(n ast.Node) {
+	sc := w.sc
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.checkCallSinks(c)
+		case *ast.IndexExpr:
+			if tv, ok := sc.info.Types[c.Index]; !ok || tv.IsType() {
+				return true // generic instantiation, not an index
+			}
+			if !indexableType(sc.info.TypeOf(c.X)) || !isIntType(sc.info.TypeOf(c.Index)) {
+				return true
+			}
+			w.checkSinkExpr(c.Index, sinkIndex, 0, "index")
+		case *ast.SliceExpr:
+			for _, b := range []ast.Expr{c.Low, c.High, c.Max} {
+				if b != nil && isIntType(sc.info.TypeOf(b)) {
+					w.checkSinkExpr(b, sinkIndex, 0, "slice bound")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// indexableType reports a type whose indexing can panic on a bad index
+// (slices, arrays, strings — map keys are unconstrained).
+func indexableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+func (w *walker) checkCallSinks(call *ast.CallExpr) {
+	sc := w.sc
+	// Narrowing integer conversion.
+	if tv, ok := sc.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, sc.info.TypeOf(call.Args[0])
+		if isIntType(dst) && isIntType(src) && intWidth(dst) < intWidth(src) {
+			t := sc.eval(call.Args[0], w.env)
+			if t.tainted() && t.hi > maxMag(dst) {
+				w.flag(call.Args[0], t, sinkNarrow, maxMag(dst),
+					fmt.Sprintf("conversion to %s may truncate %s (magnitude up to %d)",
+						types.TypeString(dst, types.RelativeTo(sc.pf.pkg)), t.why, t.hi))
+			}
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := sc.info.Uses[id].(*types.Builtin); ok {
+			if bi.Name() == "make" {
+				for _, arg := range call.Args[1:] {
+					if isIntType(sc.info.TypeOf(arg)) {
+						w.checkSinkExpr(arg, sinkAlloc, 0, "make size")
+					}
+				}
+			}
+			return
+		}
+	}
+	// Callee with exported sink parameters: the call site is the sink.
+	fn := staticCallee(sc.info, call)
+	if fn == nil || call.Ellipsis.IsValid() {
+		return
+	}
+	s := sc.pf.SummaryOf(fn)
+	if s == nil || len(s.SinkParams) == 0 {
+		return
+	}
+	for _, sp := range s.SinkParams {
+		if sp.Param < 0 || sp.Param >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[sp.Param]
+		t := sc.eval(arg, w.env)
+		bad := false
+		switch sp.Kind {
+		case sinkNarrow:
+			bad = t.tainted() && t.hi > sp.Hi
+		default:
+			bad = t.level == taintWild || (t.tainted() && t.neg)
+		}
+		if bad {
+			w.flag(arg, t, sp.Kind, sp.Hi,
+				fmt.Sprintf("argument %d of %s flows from %s to an unvalidated %s sink (%s)",
+					sp.Param, funcDisplay(fn, sc.pf.pkg), t.why, sp.Kind, sp.Why))
+		}
+	}
+}
+
+// checkSinkExpr applies the alloc/index sink criteria to one operand:
+// Wild taint, or any taint that may still be negative.
+func (w *walker) checkSinkExpr(e ast.Expr, kind string, hi uint64, what string) {
+	t := w.sc.eval(e, w.env)
+	if !t.tainted() {
+		return
+	}
+	switch {
+	case t.level == taintWild:
+		w.flag(e, t, kind, hi, fmt.Sprintf("%s derives from %s without a dominating bounds check", what, t.why))
+	case t.neg:
+		w.flag(e, t, kind, hi, fmt.Sprintf("%s from %s may be negative (no lower-bound check)", what, t.why))
+	}
+}
+
+// flag records one sink hit: a local finding when the taint originates
+// in a visible decode, and/or an exported SinkParams fact when it
+// derives from the function's own parameters. The //rstknn:validated
+// directive suppresses both.
+func (w *walker) flag(e ast.Expr, t taint, kind string, hi uint64, msg string) {
+	sc := w.sc
+	pos := e.Pos()
+	if sc.dirs.allows(validatedMark, sc.pf.fset.Position(pos)) {
+		sc.out.validated++
+		return
+	}
+	if t.local {
+		if v := sc.ssa.ValueOf(e); v != nil {
+			if note := sc.notes[v]; note != "" {
+				msg += "; " + note
+			}
+		}
+		sc.out.findings = append(sc.out.findings, taintFinding{pos: pos, msg: msg})
+	}
+	if t.params != 0 {
+		for p := 0; p < 64; p++ {
+			if t.params&(1<<uint(p)) == 0 {
+				continue
+			}
+			key := fmt.Sprintf("%d/%s", p, kind)
+			if sc.sinkSeen[key] {
+				continue
+			}
+			sc.sinkSeen[key] = true
+			sc.out.sinks = append(sc.out.sinks, SinkSpec{
+				Param: p,
+				Kind:  kind,
+				Hi:    hi,
+				Why:   fmt.Sprintf("%s at %s", kind, shortPos(sc.pf.fset, pos)),
+			})
+		}
+	}
+}
+
+// finish assembles the exported facts in deterministic order.
+func (sc *taintScanner) finish() {
+	idxs := make([]int, 0, len(sc.resT))
+	for i := range sc.resT {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		t := sc.resT[i]
+		level := "bounded"
+		if t.level == taintWild {
+			level = "wild"
+		}
+		sc.out.results = append(sc.out.results, TaintSpec{
+			Result: i, Level: level, Hi: t.hi, Neg: t.neg, Why: t.why,
+		})
+	}
+	sort.Slice(sc.out.sinks, func(i, j int) bool {
+		a, b := sc.out.sinks[i], sc.out.sinks[j]
+		if a.Param != b.Param {
+			return a.Param < b.Param
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// ------------------------------------------------------------------
+// Package fixed point
+
+// fixTaint runs the taint scan over every function to a fixed point on
+// the exported facts, so result taint and sink parameters propagate
+// through in-package helpers (cross-package propagation rides the facts
+// of the import closure, already loaded in pf.imported).
+func (pf *PkgFacts) fixTaint(info *types.Info, dirs *directiveIndex) {
+	nodes := pf.Nodes()
+	for round := 0; round < 10; round++ {
+		changed := false
+		for _, n := range nodes {
+			out := scanUntrusted(pf, info, n, dirs)
+			if !taintSpecsEqual(n.Summary.TaintResults, out.results) ||
+				!sinkSpecsEqual(n.Summary.SinkParams, out.sinks) {
+				n.Summary.TaintResults = out.results
+				n.Summary.SinkParams = out.sinks
+				changed = true
+			}
+			n.taint = out
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func taintSpecsEqual(a, b []TaintSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sinkSpecsEqual(a, b []SinkSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

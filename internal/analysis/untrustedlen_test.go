@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"rstknn/internal/analysis"
+	"rstknn/internal/analysis/analysistest"
+)
+
+func TestUntrustedLen(t *testing.T) {
+	analysistest.Run(t, analysis.UntrustedLen, "untrustedlen")
+}
+
+func TestUntrustedLenHelperPackage(t *testing.T) {
+	// The helper's unvalidated sink is parameter-derived: it must export
+	// a SinkParams fact, not a local diagnostic, so the helper package
+	// itself is clean.
+	analysistest.Run(t, analysis.UntrustedLen, "untrustedlen/helper")
+}
+
+// TestUntrustedLenCrossPackageNeedsFacts proves both halves of the
+// interprocedural story ride the facts: with the helper's facts, the
+// fact-carried taint of DecodeCount's result and the SinkParams fact on
+// Fill both surface at the caller; without them the calls go silent,
+// while same-package findings are unaffected.
+func TestUntrustedLenCrossPackageNeedsFacts(t *testing.T) {
+	has := func(ds []analysis.Diagnostic, sub string) bool {
+		for _, d := range ds {
+			if strings.Contains(d.Message, sub) {
+				return true
+			}
+		}
+		return false
+	}
+
+	with := analysistest.Diagnostics(t, analysis.UntrustedLen, "untrustedlen", true)
+	if !has(with, "untrustedlen/helper.Fill") {
+		t.Errorf("with facts: missing the Fill call-site sink diagnostic; got %v", with)
+	}
+	if !has(with, "helper.go") {
+		t.Errorf("with facts: missing the fact-carried DecodeCount taint (why should cite helper.go); got %v", with)
+	}
+
+	without := analysistest.Diagnostics(t, analysis.UntrustedLen, "untrustedlen", false)
+	if has(without, "untrustedlen/helper.Fill") {
+		t.Errorf("without facts: Fill's SinkParams fact should be invisible; got %v", without)
+	}
+	if has(without, "helper.go") {
+		t.Errorf("without facts: DecodeCount's TaintResults fact should be invisible; got %v", without)
+	}
+	if !has(without, "make size derives") {
+		t.Errorf("without facts: same-package findings should survive; got %v", without)
+	}
+}

@@ -40,7 +40,19 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 )
+
+// lintSchemaVersion is the version stamp of the JSON report shape
+// emitted by -json. Bump it whenever a field is added, removed, or
+// changes meaning, so report consumers can reject shapes they do not
+// understand. v2 added schema_version itself and per-analyzer
+// elapsed_us.
+const lintSchemaVersion = 2
+
+// vetNow is the clock behind the per-analyzer timings; a variable so
+// the determinism test can pin it.
+var vetNow = time.Now
 
 // vetConfig mirrors the JSON compilation-unit description the go command
 // hands to a vettool. Field names are fixed by the protocol.
@@ -203,13 +215,16 @@ func runUnit(cfgPath string, analyzers []*Analyzer, jsonOut bool, baselinePath s
 
 	diags := make(map[string][]Diagnostic)
 	suppressed := make(map[string]int)
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, a := range analyzers {
 		pass := NewPass(a, fset, files, pkg, info, pf, func(d Diagnostic) {
 			diags[a.Name] = append(diags[a.Name], d)
 		})
+		start := vetNow()
 		if err := a.Run(pass); err != nil {
 			log.Fatalf("analyzer %s: %v", a.Name, err)
 		}
+		elapsed[a.Name] = vetNow().Sub(start)
 		if n := pass.Suppressed(); n > 0 {
 			suppressed[a.Name] += n
 		}
@@ -224,7 +239,7 @@ func runUnit(cfgPath string, analyzers []*Analyzer, jsonOut bool, baselinePath s
 	}
 
 	if jsonOut {
-		printJSONDiagnostics(stdout, fset, cfg.ID, analyzers, diags, suppressed)
+		printJSONDiagnostics(stdout, fset, cfg.ID, analyzers, diags, suppressed, elapsed)
 		return 0
 	}
 	exit := 0
@@ -347,34 +362,42 @@ func (f importerFunc) Import(path string) (*types.Package, error) { return f(pat
 // printJSONDiagnostics emits one unit's report keyed by package ID, the
 // shape per-unit outputs are merged under:
 //
-//	{"<id>": {"diagnostics": {"<analyzer>": [{posn, message, analyzer}]},
+//	{"<id>": {"schema_version": 2,
+//	          "diagnostics": {"<analyzer>": [{posn, message, analyzer}]},
 //	          "counts":      {"<analyzer>": n},
+//	          "elapsed_us":  {"<analyzer>": µs},
 //	          "suppressed":  {"<analyzer>": count}}}
 //
-// counts carries one entry per registered analyzer, zeroes included, so
-// the report proves which analyzers ran (a missing pinsafe key reads as
-// "not wired in"; an explicit 0 reads as "ran clean"). suppressed counts
-// the findings //rstknn:allow directives silenced, per analyzer — the
-// audit surface for exceptions.
-func printJSONDiagnostics(w io.Writer, fset *token.FileSet, id string, analyzers []*Analyzer, diags map[string][]Diagnostic, suppressed map[string]int) {
+// counts and elapsed_us carry one entry per registered analyzer, zeroes
+// included, so the report proves which analyzers ran (a missing pinsafe
+// key reads as "not wired in"; an explicit 0 reads as "ran clean") and
+// where the lint budget goes. suppressed counts the findings
+// //rstknn:allow directives silenced, per analyzer — the audit surface
+// for exceptions.
+func printJSONDiagnostics(w io.Writer, fset *token.FileSet, id string, analyzers []*Analyzer, diags map[string][]Diagnostic, suppressed map[string]int, elapsed map[string]time.Duration) {
 	type jsonDiag struct {
 		Posn     string `json:"posn"`
 		Message  string `json:"message"`
 		Analyzer string `json:"analyzer"`
 	}
 	type jsonUnit struct {
-		Diagnostics map[string][]jsonDiag `json:"diagnostics"`
-		Counts      map[string]int        `json:"counts"`
-		Suppressed  map[string]int        `json:"suppressed"`
+		SchemaVersion int                   `json:"schema_version"`
+		Diagnostics   map[string][]jsonDiag `json:"diagnostics"`
+		Counts        map[string]int        `json:"counts"`
+		ElapsedUs     map[string]int64      `json:"elapsed_us"`
+		Suppressed    map[string]int        `json:"suppressed"`
 	}
 	unit := jsonUnit{
-		Diagnostics: make(map[string][]jsonDiag),
-		Counts:      make(map[string]int, len(analyzers)),
-		Suppressed:  suppressed,
+		SchemaVersion: lintSchemaVersion,
+		Diagnostics:   make(map[string][]jsonDiag),
+		Counts:        make(map[string]int, len(analyzers)),
+		ElapsedUs:     make(map[string]int64, len(analyzers)),
+		Suppressed:    suppressed,
 	}
 	for _, a := range analyzers {
 		ds := diags[a.Name]
 		unit.Counts[a.Name] = len(ds)
+		unit.ElapsedUs[a.Name] = elapsed[a.Name].Microseconds()
 		if len(ds) == 0 {
 			continue
 		}

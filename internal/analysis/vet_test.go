@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // writeUnitConfig synthesizes the JSON compilation-unit config `go vet`
@@ -81,13 +82,15 @@ func fine(a, b float64) bool { return a < b }
 // jsonUnitReport mirrors the per-unit JSON report shape for decoding in
 // tests.
 type jsonUnitReport struct {
-	Diagnostics map[string][]struct {
+	SchemaVersion int `json:"schema_version"`
+	Diagnostics   map[string][]struct {
 		Posn     string `json:"posn"`
 		Message  string `json:"message"`
 		Analyzer string `json:"analyzer"`
 	} `json:"diagnostics"`
-	Counts     map[string]int `json:"counts"`
-	Suppressed map[string]int `json:"suppressed"`
+	Counts     map[string]int   `json:"counts"`
+	ElapsedUs  map[string]int64 `json:"elapsed_us"`
+	Suppressed map[string]int   `json:"suppressed"`
 }
 
 func TestRunUnitJSONOutput(t *testing.T) {
@@ -138,10 +141,63 @@ func blessed(a, b float64) bool {
 	if unit.Counts["floatcmp"] != 1 {
 		t.Fatalf("counts[floatcmp] = %d, want 1", unit.Counts["floatcmp"])
 	}
-	for _, name := range []string{"pinsafe", "retirepub", "lockorder"} {
+	for _, name := range []string{"pinsafe", "retirepub", "lockorder", "untrustedlen"} {
 		if n, ok := unit.Counts[name]; !ok || n != 0 {
 			t.Fatalf("counts[%s] = %d, %v; want an explicit 0", name, n, ok)
 		}
+	}
+	if unit.SchemaVersion != lintSchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", unit.SchemaVersion, lintSchemaVersion)
+	}
+	// elapsed_us mirrors counts: an explicit entry per analyzer.
+	if len(unit.ElapsedUs) != len(All()) {
+		t.Fatalf("elapsed_us has %d entries, want one per analyzer (%d): %v",
+			len(unit.ElapsedUs), len(All()), unit.ElapsedUs)
+	}
+}
+
+// TestRunUnitJSONDeterministic: the go command caches vet output, and CI
+// diffs checked-in reports, so with a pinned clock two runs over the
+// same unit must produce byte-identical JSON.
+func TestRunUnitJSONDeterministic(t *testing.T) {
+	// A fake monotonic clock: each reading advances 100µs, so analyzer
+	// timings are nonzero yet reproducible.
+	tick := 0
+	vetNow = func() time.Time {
+		tick++
+		return time.Unix(0, int64(tick)*100_000)
+	}
+	defer func() { vetNow = time.Now }()
+
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	code := `package fixture
+
+func exact(a, b float64) bool { return a == b }
+`
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() string {
+		tick = 0
+		cfgPath, _ := writeUnitConfig(t, t.TempDir(), []string{src}, false)
+		var stdout, stderr strings.Builder
+		if exit := runUnit(cfgPath, All(), true, "", &stdout, &stderr); exit != 0 {
+			t.Fatalf("exit = %d; stderr: %s", exit, stderr.String())
+		}
+		return stdout.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two runs differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	var tree map[string]jsonUnitReport
+	if err := json.Unmarshal([]byte(a), &tree); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree["fixture"].ElapsedUs["floatcmp"]; got != 100 {
+		t.Fatalf("elapsed_us[floatcmp] = %d, want 100 under the pinned clock", got)
 	}
 }
 

@@ -214,6 +214,12 @@ func parseNodeView(blob []byte, offs []int32) (leaf bool, _ []int32, err error) 
 	if len(blob) < 3 {
 		return false, offs, fmt.Errorf("truncated node header")
 	}
+	if len(blob) > math.MaxInt32 {
+		// The offset table is int32; every in-blob offset below fits
+		// once the blob itself does (stored pages are a few KiB — this
+		// only rejects absurd corruption).
+		return false, offs, fmt.Errorf("node blob too large (%d bytes)", len(blob))
+	}
 	count := int(binary.LittleEndian.Uint16(blob[1:]))
 	off := 3
 	if len(blob)-off < count*entryFixedSize {
@@ -224,7 +230,11 @@ func parseNodeView(blob []byte, offs []int32) (leaf bool, _ []int32, err error) 
 	}
 	offs = offs[:0]
 	for i := 0; i < count; i++ {
-		offs = append(offs, int32(off))
+		// skipEntry bounds-checks every length header against its input,
+		// so the size it returns never exceeds len(blob[off:]) and off
+		// stays ≤ len(blob) ≤ MaxInt32 (guarded above) on every round —
+		// a relational invariant the taint analysis cannot express.
+		offs = append(offs, int32(off)) //rstknn:validated off ≤ len(blob) ≤ MaxInt32, see loop comment
 		sz, err := skipEntry(blob[off:])
 		if err != nil {
 			return false, offs, fmt.Errorf("entry %d: %w", i, err)
@@ -234,7 +244,7 @@ func parseNodeView(blob []byte, offs []int32) (leaf bool, _ []int32, err error) 
 	if off != len(blob) {
 		return false, offs, fmt.Errorf("node blob has %d trailing bytes", len(blob)-off)
 	}
-	offs = append(offs, int32(off))
+	offs = append(offs, int32(off)) //rstknn:validated off == len(blob) ≤ MaxInt32 on this line
 	return blob[0] == 1, offs, nil
 }
 

@@ -1,6 +1,7 @@
 package iurtree
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"testing"
 
@@ -150,5 +151,43 @@ func TestBoundCacheGetDoesNotAllocate(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("bound cache get allocates %.1f times per hit, want 0", allocs)
+	}
+}
+
+// TestParseNodeViewCorrupt: the structural validator must reject every
+// corruption of a node blob — oversized entry counts, truncation at any
+// byte, and trailing garbage — by header inspection alone, so the
+// zero-copy accessors can trust the offset table unconditionally.
+func TestParseNodeViewCorrupt(t *testing.T) {
+	env := vector.Envelope{
+		Int: vector.New(map[vector.TermID]float64{1: 0.5}),
+		Uni: vector.New(map[vector.TermID]float64{1: 0.5, 4: 0.25}),
+	}
+	n := &Node{Leaf: true, Entries: []Entry{
+		{Child: storage.InvalidNode, ObjID: 7, Count: 1, Env: env},
+		{Child: storage.InvalidNode, ObjID: 9, Count: 1, Env: env},
+	}}
+	blob := encodeNode(n)
+	if _, _, err := parseNodeView(blob, nil); err != nil {
+		t.Fatalf("pristine blob rejected: %v", err)
+	}
+
+	// Oversized entry count: claims more entries than the blob can hold.
+	c := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint16(c[1:], 0xFFFF)
+	if _, _, err := parseNodeView(c, nil); err == nil {
+		t.Error("oversized entry count accepted")
+	}
+
+	// Truncation at every length must fail — never panic, never accept.
+	for i := 0; i < len(blob); i++ {
+		if _, _, err := parseNodeView(blob[:i], nil); err == nil {
+			t.Errorf("truncation to %d of %d bytes accepted", i, len(blob))
+		}
+	}
+
+	// Trailing garbage is corruption too (offsets would drift otherwise).
+	if _, _, err := parseNodeView(append(append([]byte(nil), blob...), 0), nil); err == nil {
+		t.Error("trailing byte accepted")
 	}
 }

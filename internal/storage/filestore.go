@@ -66,6 +66,16 @@ func OpenFileStore(path string, opts ...Option) (*FileStore, error) {
 	for _, o := range opts {
 		o(&fs.Store)
 	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close() //rstknn:allow errlost best-effort close; the stat error is returned
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	// Every record needs at least a header, so no valid id can reach
+	// size/fileRecordHeader — checking decoded ids against it bounds the
+	// offset index (and the append loop growing it) by the file size,
+	// whatever a corrupt header claims.
+	maxID := st.Size() / fileRecordHeader
 	var off int64
 	var header [fileRecordHeader]byte
 	for {
@@ -79,6 +89,10 @@ func OpenFileStore(path string, opts ...Option) (*FileStore, error) {
 		}
 		id := NodeID(binary.LittleEndian.Uint32(header[0:]))
 		size := int32(binary.LittleEndian.Uint32(header[4:]))
+		if id < 0 || int64(id) >= maxID {
+			f.Close() //rstknn:allow errlost best-effort close; the corruption error is returned
+			return nil, fmt.Errorf("storage: corrupt record id %d at %d", id, off)
+		}
 		if size < 0 {
 			f.Close() //rstknn:allow errlost best-effort close; the corruption error is returned
 			return nil, fmt.Errorf("storage: corrupt record size %d at %d", size, off)

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -104,6 +105,37 @@ func TestFileStoreReopen(t *testing.T) {
 func TestFileStoreOpenMissing(t *testing.T) {
 	if _, err := OpenFileStore(filepath.Join(t.TempDir(), "nope.log")); err == nil {
 		t.Error("opening a missing file should fail")
+	}
+}
+
+// TestFileStoreOpenCorruptID: a record header whose node ID field holds
+// garbage must fail the reopen scan. The pre-fix scan indexed offsets[id]
+// straight off the decoded value — 0x80000000 flips negative as int32
+// (index panic) and a large positive id grows the index without bound.
+func TestFileStoreOpenCorruptID(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blobs.log")
+	fs, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Put([]byte("payload"))
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []uint32{0x80000000, 0xFFFFFFFF, 1 << 20} {
+		data := append([]byte(nil), pristine...)
+		binary.LittleEndian.PutUint32(data, id)
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if re, err := OpenFileStore(path); err == nil {
+			re.Close()
+			t.Errorf("OpenFileStore accepted corrupt record id %#x", id)
+		}
 	}
 }
 

@@ -41,9 +41,12 @@ func DecodeVector(buf []byte) (Vector, int, error) {
 		return Vector{}, 0, fmt.Errorf("vector: truncated header (%d bytes)", len(buf))
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
-	need := 4 + n*(4+8)
-	if len(buf) < need {
-		return Vector{}, 0, fmt.Errorf("vector: need %d bytes, have %d", need, len(buf))
+	// Division form, not "len(buf) < 4+n*12": the product overflows int32
+	// for large n, so on a 32-bit platform the multiplied guard wraps and
+	// admits a count far beyond the buffer (n itself can even be negative
+	// there). The divided comparison is exact at every int width.
+	if n < 0 || n > (len(buf)-4)/(4+8) {
+		return Vector{}, 0, fmt.Errorf("vector: need %d bytes, have %d", 4+n*(4+8), len(buf))
 	}
 	if n == 0 {
 		return Vector{}, 4, nil
@@ -77,11 +80,11 @@ func SkipVector(buf []byte) (int, error) {
 		return 0, fmt.Errorf("vector: truncated header (%d bytes)", len(buf))
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
-	need := 4 + n*(4+8)
-	if len(buf) < need {
-		return 0, fmt.Errorf("vector: need %d bytes, have %d", need, len(buf))
+	// Division form for 32-bit safety; see DecodeVector.
+	if n < 0 || n > (len(buf)-4)/(4+8) {
+		return 0, fmt.Errorf("vector: need %d bytes, have %d", 4+n*(4+8), len(buf))
 	}
-	return need, nil
+	return 4 + n*(4+8), nil
 }
 
 // SkipEnvelope is SkipVector for an encoded envelope (intersection vector

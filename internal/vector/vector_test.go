@@ -1,6 +1,7 @@
 package vector
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -236,6 +237,36 @@ func TestDecodeErrors(t *testing.T) {
 	buf[4], buf[8] = 3, 1
 	if _, _, err := DecodeVector(buf); err == nil {
 		t.Error("out-of-order terms should fail")
+	}
+}
+
+// TestDecodeOversizedCount: counts whose byte requirement overflows the
+// old multiplied guard (4 + n*12 wraps at 32-bit int widths) must be
+// rejected by header inspection, never fed to make().
+func TestDecodeOversizedCount(t *testing.T) {
+	for _, n := range []uint32{0xFFFFFFFF, 0x80000000, 0x15555556} {
+		buf := binary.LittleEndian.AppendUint32(nil, n)
+		buf = append(buf, make([]byte, 64)...)
+		if _, _, err := DecodeVector(buf); err == nil {
+			t.Errorf("DecodeVector accepted count %#x with 64 payload bytes", n)
+		}
+		if _, err := SkipVector(buf); err == nil {
+			t.Errorf("SkipVector accepted count %#x with 64 payload bytes", n)
+		}
+	}
+	// One byte short of the declared payload.
+	short := binary.LittleEndian.AppendUint32(nil, 2)
+	short = append(short, make([]byte, 2*(4+8)-1)...)
+	if _, _, err := DecodeVector(short); err == nil {
+		t.Error("DecodeVector accepted a truncated payload")
+	}
+	if _, err := SkipVector(short); err == nil {
+		t.Error("SkipVector accepted a truncated payload")
+	}
+	// The guards must not over-reject: a valid blob still skips exactly.
+	good := vec(1, 1, 3, 1).AppendBinary(nil)
+	if n, err := SkipVector(good); err != nil || n != len(good) {
+		t.Errorf("SkipVector(valid) = %d, %v; want %d, nil", n, err, len(good))
 	}
 }
 
