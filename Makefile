@@ -6,7 +6,7 @@ LINT_TOOL     := $(or $(TMPDIR),/tmp)/rstknn-lint
 LINT_REPORT   ?= lint-report.json
 FUZZTIME      ?= 10s
 
-.PHONY: all build test race race-stress lint lint-json lint-selftest golangci fmt fuzz bench-baseline bench-views bench-mutate check clean
+.PHONY: all build test race race-stress lint lint-json lint-selftest golangci fmt fuzz bench-baseline bench-views bench-mutate bench-batch check clean
 
 all: build
 
@@ -100,6 +100,14 @@ bench-views:
 # bench-baseline: counters are cross-machine comparable, ns/op is not.
 bench-mutate:
 	go run ./cmd/rstknn-bench -mutate baseline -seed 7 -scale 0.25 -churn 2000
+
+# Regenerate BENCH_batch.json, the shared-traversal batch execution
+# evidence record (DESIGN.md §11): the pinned workload answered
+# independently and via MultiRSTkNN at several batch sizes. nodes/query,
+# shared-hits/query, and the reduction factor are deterministic and
+# cross-machine comparable; ns/query is not.
+bench-batch:
+	go run ./cmd/rstknn-bench -batch batch -seed 7 -scale 0.25 -queries 64 -batchsizes 1,4,16,64 -benchiters 3
 
 check: lint build test race race-stress fuzz
 

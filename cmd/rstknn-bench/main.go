@@ -24,13 +24,21 @@
 //	rstknn-bench -mutate baseline -seed 7            # BENCH_baseline.json
 //	rstknn-bench -mutate pr42 -scale 0.1 -churn 500
 //
-// The -compare mode diffs two previously written scaling benchmarks and
-// exits non-zero when any cost metric (ns/op, allocs/op, bytes/op,
-// nodes-read) regressed by more than -threshold percent (default 10;
-// flags must precede the positional NEW.json):
+// The -batch mode runs the shared-traversal batch benchmark (DESIGN.md
+// §11): the same query workload answered independently and through
+// core.MultiRSTkNN at several batch sizes, recording physical nodes read
+// per query and the shared-hit amortization:
+//
+//	rstknn-bench -batch batch -seed 7                # BENCH_batch.json
+//	rstknn-bench -batch pr42 -batchsizes 1,16 -sharedbatch=false
+//
+// The -compare mode diffs two previously written benchmarks (scaling or
+// batch records — detected from the file's mode field) and exits
+// non-zero when any cost metric regressed by more than -threshold
+// percent (default 10; flags must precede the positional NEW.json):
 //
 //	rstknn-bench -compare BENCH_baseline.json BENCH_pr42.json
-//	rstknn-bench -compare BENCH_baseline.json -threshold 25 BENCH_pr42.json
+//	rstknn-bench -compare BENCH_batch.json -threshold 25 BENCH_pr42.json
 package main
 
 import (
@@ -73,6 +81,10 @@ func run(args []string, out io.Writer) error {
 		mutateLabel = fs.String("mutate", "", "write the copy-on-write mutation benchmark to BENCH_<label>.json instead of running experiments")
 		mutateOps   = fs.Int("churn", 0, "steady-state delete+insert rounds in -mutate mode (0 = dataset size)")
 
+		batchLabel  = fs.String("batch", "", "write the shared-traversal batch benchmark to BENCH_<label>.json instead of running experiments")
+		batchSizes  = fs.String("batchsizes", "1,4,16,64", "comma-separated batch sizes for -batch mode")
+		sharedBatch = fs.Bool("sharedbatch", true, "measure the shared traversal in -batch mode; false records only the independent ablation")
+
 		comparePath = fs.String("compare", "", "compare two scaling benchmarks: -compare OLD.json NEW.json prints per-row deltas and exits non-zero on regressions past -threshold")
 		threshold   = fs.Float64("threshold", 10, "regression threshold in percent for -compare")
 	)
@@ -108,6 +120,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *mutateLabel != "" {
 		return runMutate(cfg, out, *mutateLabel, *jsonDir, *mutateOps)
+	}
+	if *batchLabel != "" {
+		return runBatch(cfg, out, *batchLabel, *jsonDir, *batchSizes, *sharedBatch, *benchiters)
 	}
 	fmt.Fprintf(out, "rstknn-bench: scale=%g queries=%d seed=%d profile=%s\n",
 		*scale, *queries, *seed, p)
@@ -160,20 +175,81 @@ func runJSON(cfg bench.Config, out io.Writer, label, dir, workerList string, ite
 	return nil
 }
 
-// runCompare diffs two BENCH json files and fails on regressions past
+// runBatch executes the shared-traversal batch benchmark and writes
+// BENCH_<label>.json, echoing a human-readable summary to out.
+func runBatch(cfg bench.Config, out io.Writer, label, dir, sizeList string, shared bool, iters int) error {
+	var sizes []int
+	for _, f := range strings.Split(sizeList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("invalid -batchsizes element %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	fmt.Fprintf(out, "rstknn-bench: batch label=%s scale=%g queries=%d seed=%d sizes=%v shared=%v iters=%d\n",
+		label, cfg.Scale, cfg.Queries, cfg.Seed, sizes, shared, iters)
+	b, err := bench.RunBatchBench(cfg, label, sizes, shared, iters)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+label+".json")
+	if err := b.WriteFile(path); err != nil {
+		return err
+	}
+	for _, r := range b.Rows {
+		mode := "independent"
+		if r.Shared {
+			mode = "shared"
+		}
+		fmt.Fprintf(out, "batch=%-3d %-11s %10d ns/query  %8.1f nodes/query  %8.1f shared-hits/query  %.2fx fewer reads\n",
+			r.BatchSize, mode, r.NsPerQuery, r.NodesRead, r.SharedHitsPerQuery, r.Reduction)
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// runCompare diffs two BENCH json files (scaling baselines or batch
+// records, detected from the mode field) and fails on regressions past
 // the threshold (in percent).
 func runCompare(out io.Writer, oldPath, newPath string, thresholdPct float64) error {
-	oldB, err := bench.ReadBaselineFile(oldPath)
+	mode, err := bench.BenchFileMode(oldPath)
 	if err != nil {
 		return err
 	}
-	newB, err := bench.ReadBaselineFile(newPath)
+	newMode, err := bench.BenchFileMode(newPath)
 	if err != nil {
 		return err
 	}
-	cmp, err := bench.Compare(oldB, newB, thresholdPct)
-	if err != nil {
-		return err
+	if mode != newMode {
+		return fmt.Errorf("cannot compare a %q record with a %q record", modeName(mode), modeName(newMode))
+	}
+	var cmp *bench.Comparison
+	if mode == "batch" {
+		oldB, err := bench.ReadBatchBenchFile(oldPath)
+		if err != nil {
+			return err
+		}
+		newB, err := bench.ReadBatchBenchFile(newPath)
+		if err != nil {
+			return err
+		}
+		cmp, err = bench.CompareBatch(oldB, newB, thresholdPct)
+		if err != nil {
+			return err
+		}
+	} else {
+		oldB, err := bench.ReadBaselineFile(oldPath)
+		if err != nil {
+			return err
+		}
+		newB, err := bench.ReadBaselineFile(newPath)
+		if err != nil {
+			return err
+		}
+		cmp, err = bench.Compare(oldB, newB, thresholdPct)
+		if err != nil {
+			return err
+		}
 	}
 	cmp.Render(out)
 	if len(cmp.Regressions) > 0 {
@@ -182,6 +258,14 @@ func runCompare(out io.Writer, oldPath, newPath string, thresholdPct float64) er
 	}
 	fmt.Fprintf(out, "no regressions past %g%%\n", thresholdPct)
 	return nil
+}
+
+// modeName renders a BENCH file's mode field for error messages.
+func modeName(mode string) string {
+	if mode == "" {
+		return "scaling"
+	}
+	return mode
 }
 
 // runMutate executes the copy-on-write mutation benchmark and writes

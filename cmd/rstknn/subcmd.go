@@ -354,6 +354,9 @@ func printEngineStats(out io.Writer, s rstknn.IndexStats) {
 	fmt.Fprintf(out, "storage: %d pages / %.2f MiB total, %d pages / %.2f MiB live, %d retired pending reclaim\n",
 		s.Pages, float64(s.Bytes)/(1<<20), s.LivePages, float64(s.LiveBytes)/(1<<20), s.PendingReclaim)
 	fmt.Fprintf(out, "write i/o: %d blob writes, %d pages written\n", s.Writes, s.PagesWritten)
+	fmt.Fprintf(out, "caches: buffer pool %.1f%% hit (%d/%d), bound cache %.1f%% hit (%d/%d)\n",
+		100*s.BufferPoolHitRatio(), s.BufferPoolHits, s.BufferPoolHits+s.BufferPoolMisses,
+		100*s.BoundCacheHitRatio(), s.BoundCacheHits, s.BoundCacheHits+s.BoundCacheMisses)
 	if s.Clusters > 0 {
 		fmt.Fprintf(out, "clusters: %d\n", s.Clusters)
 	}

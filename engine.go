@@ -205,11 +205,17 @@ type IndexStats struct {
 	BoundCacheHits    int64
 	BoundCacheMisses  int64
 	BoundCacheEntries int
-	Clusters          int // 0 for IUR
-	BuildTime         time.Duration
-	VocabSize         int
-	Kind              IndexKind
-	MaxDistance       float64
+	// BufferPoolHits/Misses split the engine-wide node reads by whether
+	// the buffer pool (or decoded-node cache) served them: misses paid
+	// simulated page I/O, hits did not. Both are zero-history counters
+	// since Build (or ResetIOStats).
+	BufferPoolHits   int64
+	BufferPoolMisses int64
+	Clusters         int // 0 for IUR
+	BuildTime        time.Duration
+	VocabSize        int
+	Kind             IndexKind
+	MaxDistance      float64
 }
 
 // Stats returns the index statistics.
@@ -238,7 +244,31 @@ func (e *Engine) Stats() IndexStats {
 	out.BoundCacheHits = bc.Hits
 	out.BoundCacheMisses = bc.Misses
 	out.BoundCacheEntries = bc.Entries
+	out.BufferPoolHits = ioStats.CacheHits
+	out.BufferPoolMisses = ioStats.Reads
 	return out
+}
+
+// ratio returns hits/(hits+misses), or 0 when nothing was counted.
+func ratio(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// BufferPoolHitRatio returns the fraction of node reads served without
+// simulated page I/O — BufferPoolHits/(BufferPoolHits+BufferPoolMisses)
+// — or 0 when no reads happened.
+func (s IndexStats) BufferPoolHitRatio() float64 {
+	return ratio(s.BufferPoolHits, s.BufferPoolMisses)
+}
+
+// BoundCacheHitRatio returns the fraction of textual-payload decodes the
+// bound cache absorbed — BoundCacheHits/(BoundCacheHits+BoundCacheMisses)
+// — or 0 when the cache was never consulted.
+func (s IndexStats) BoundCacheHitRatio() float64 {
+	return ratio(s.BoundCacheHits, s.BoundCacheMisses)
 }
 
 // Alpha returns the engine's spatial/textual weight.

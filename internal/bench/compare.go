@@ -42,17 +42,21 @@ type CompareMetric struct {
 	Regressed bool
 }
 
-// CompareRow is the metric-by-metric delta at one worker count.
+// CompareRow is the metric-by-metric delta at one row of the record:
+// one worker count for scaling baselines (Workers set, Label empty), one
+// (batch size, mode) cell for batch records (Label set by CompareBatch).
 type CompareRow struct {
 	Workers int
+	Label   string
 	Metrics []CompareMetric
 }
 
-// Comparison is the result of diffing two baselines on the same
-// workload.
+// Comparison is the result of diffing two records on the same workload.
+// Compare fills Old/New; CompareBatch fills OldBatch/NewBatch.
 type Comparison struct {
-	Old, New *Baseline
-	Rows     []CompareRow
+	Old, New           *Baseline
+	OldBatch, NewBatch *BatchBench
+	Rows               []CompareRow
 	// Regressions lists every metric whose relative increase exceeded
 	// the threshold, formatted for an error message.
 	Regressions []string
@@ -109,11 +113,25 @@ func Compare(oldB, newB *Baseline, thresholdPct float64) (*Comparison, error) {
 
 // Render writes the comparison as a per-row table.
 func (c *Comparison) Render(w io.Writer) {
+	oldLabel, newLabel := "", ""
+	var wl BaselineWorkload
+	var mach BaselineMachine
+	if c.NewBatch != nil {
+		oldLabel, newLabel = c.OldBatch.Label, c.NewBatch.Label
+		wl, mach = c.NewBatch.Workload, c.NewBatch.Machine
+	} else {
+		oldLabel, newLabel = c.Old.Label, c.New.Label
+		wl, mach = c.New.Workload, c.New.Machine
+	}
 	fmt.Fprintf(w, "compare: %s -> %s  (%s/%s, %d objects, %d queries, seed %d)\n",
-		c.Old.Label, c.New.Label, c.New.Workload.Profile, c.New.Machine.GOARCH,
-		c.New.Workload.Objects, c.New.Workload.Queries, c.New.Workload.Seed)
+		oldLabel, newLabel, wl.Profile, mach.GOARCH,
+		wl.Objects, wl.Queries, wl.Seed)
 	for _, row := range c.Rows {
-		fmt.Fprintf(w, "workers=%d\n", row.Workers)
+		if row.Label != "" {
+			fmt.Fprintf(w, "%s\n", row.Label)
+		} else {
+			fmt.Fprintf(w, "workers=%d\n", row.Workers)
+		}
 		for _, m := range row.Metrics {
 			flag := ""
 			if m.Regressed {

@@ -173,7 +173,12 @@ type group struct {
 // groups of one entry together means expansion reads the node exactly
 // once no matter how many clusters remain undecided.
 type candidate struct {
-	entry  iurtree.Entry
+	entry iurtree.Entry
+	// idx is the entry's position within its parent node. Single-query
+	// search never consults it; the shared-traversal batch driver uses it
+	// as the merge key that folds the per-query children of one expanded
+	// node back into one frontier slot per child (see batch.go).
+	idx    int
 	groups []*group
 }
 
@@ -237,6 +242,20 @@ type worker struct {
 	scratch *scratch
 	metrics Metrics
 	results []int32
+
+	// Per-query lane state. Single-query search fixes k and trace from
+	// the searcher's Options at newWorker time; the shared-traversal
+	// batch driver retargets all four fields per active query (see
+	// batchWorker.begin), so the decision machinery below never consults
+	// opt.K or opt.BoundTrace directly.
+	k     int
+	trace func(objID int32, knnl, knnu float64)
+	// qtr is the per-query tracker shared reads are attributed to in
+	// batch mode; single-query mode charges s.opt.Tracker via the store.
+	qtr *storage.Tracker
+	// batch, when non-nil, routes every node read through the batch's
+	// once-per-node view table instead of the store.
+	batch *batchTable
 }
 
 // newWorker prepares one worker for the searcher.
@@ -245,6 +264,8 @@ func (s *searcher) newWorker() *worker {
 		s:       s,
 		scorer:  *NewScorer(s.opt.Alpha, s.tree.MaxD(), s.opt.Sim),
 		scratch: getScratch(),
+		k:       s.opt.K,
+		trace:   s.opt.BoundTrace,
 	}
 }
 
@@ -269,6 +290,20 @@ func (w *worker) readView(id storage.NodeID) (iurtree.NodeView, error) {
 	if err := checkCtx(w.s.opt.Ctx); err != nil {
 		return iurtree.NodeView{}, err
 	}
+	if w.batch != nil {
+		// Shared-traversal batch: the table fetches each node at most
+		// once per batch (charging the physical I/O to the batch
+		// tracker); this query records the logical read — NodesRead stays
+		// bit-identical to an independent run — plus one shared-read
+		// attribution on its own tracker.
+		v, err := w.batch.load(id)
+		if err != nil {
+			return iurtree.NodeView{}, err
+		}
+		w.qtr.ChargeSharedRead()
+		w.metrics.NodesRead++
+		return v, nil
+	}
 	v, err := w.s.tree.ReadViewTracked(id, w.s.opt.Tracker, w.scratch.getViewBuf())
 	if err != nil {
 		return iurtree.NodeView{}, err
@@ -278,8 +313,13 @@ func (w *worker) readView(id storage.NodeID) (iurtree.NodeView, error) {
 }
 
 // doneView recycles a view's offset buffer once no accessor will be
-// called on it again.
+// called on it again. Batch-table views keep their buffers — the table
+// owns them for the lifetime of the batch, and other queries may still
+// read through the same view.
 func (w *worker) doneView(v *iurtree.NodeView) {
+	if w.batch != nil {
+		return
+	}
 	w.scratch.putViewBuf(v.RecycleBuf())
 }
 
@@ -520,7 +560,7 @@ func (w *worker) buildChildren(parent *iurtree.Entry, children []iurtree.Entry, 
 				best = g.q.hi
 			}
 		}
-		out = append(out, queued{c: &candidate{entry: *child, groups: groups}, pri: best})
+		out = append(out, queued{c: &candidate{entry: *child, idx: i, groups: groups}, pri: best})
 	}
 	w.scratch.sibParts = sibParts[:0]
 	return out
@@ -545,25 +585,12 @@ func (w *worker) process(c *candidate, q *Query) ([]queued, error) {
 		if err != nil {
 			return nil, err
 		}
-		switch v {
-		case verdictPruned:
-			if c.entry.IsObject() {
-				w.metrics.Candidates++
-			} else {
-				w.metrics.GroupPruned += int(g.count)
-			}
-		case verdictReported:
-			if c.entry.IsObject() {
-				w.metrics.Candidates++
-				w.results = append(w.results, c.entry.ObjID)
-			} else {
-				w.metrics.GroupReported += int(g.count)
-				if err := w.collect(&c.entry, g.cluster); err != nil {
-					return nil, err
-				}
-			}
-		case verdictExpand:
+		if v == verdictExpand {
 			pending = append(pending, g)
+			continue
+		}
+		if err := w.settle(c, g, v); err != nil {
+			return nil, err
 		}
 	}
 	if len(pending) == 0 {
@@ -580,6 +607,29 @@ func (w *worker) process(c *candidate, q *Query) ([]queued, error) {
 	return out, nil
 }
 
+// settle applies one decided group's verdict: the metrics bookkeeping,
+// result emission, and subtree collection shared by the single-query and
+// batch drivers, so their accounting is bit-identical by construction.
+func (w *worker) settle(c *candidate, g *group, v verdict) error {
+	switch v {
+	case verdictPruned:
+		if c.entry.IsObject() {
+			w.metrics.Candidates++
+		} else {
+			w.metrics.GroupPruned += int(g.count)
+		}
+	case verdictReported:
+		if c.entry.IsObject() {
+			w.metrics.Candidates++
+			w.results = append(w.results, c.entry.ObjID)
+		} else {
+			w.metrics.GroupReported += int(g.count)
+			return w.collect(&c.entry, g.cluster)
+		}
+	}
+	return nil
+}
+
 // decideGroup evaluates one group against the two pruning rules,
 // tightening its contribution list in two tiers: *rebounds* recompute the
 // stale inherited bounds against this group (pure CPU), *refinements*
@@ -591,21 +641,21 @@ func (w *worker) decideGroup(c *candidate, g *group) (verdict, error) {
 	gSide := side{rect: c.entry.Rect, env: g.env, exact: c.entry.IsObject()}
 	sc := w.scratch
 	for {
-		sc.selLo.reset(w.s.opt.K)
-		sc.selHi.reset(w.s.opt.K)
+		sc.selLo.reset(w.k)
+		sc.selHi.reset(w.k)
 		g.cl.knnBoundsInto(&sc.selLo, &sc.selHi)
 		knnl, knnu := sc.selLo.kth(), sc.selHi.kth()
 		if g.q.hi < knnl {
 			// Rule 1: the query can never reach any member's top-k.
-			if c.entry.IsObject() && w.s.opt.BoundTrace != nil {
-				w.s.opt.BoundTrace(c.entry.ObjID, knnl, knnu)
+			if c.entry.IsObject() && w.trace != nil {
+				w.trace(c.entry.ObjID, knnl, knnu)
 			}
 			return verdictPruned, nil
 		}
 		if g.q.lo >= knnu {
 			// Rule 2: the query ranks within every member's top-k.
-			if c.entry.IsObject() && w.s.opt.BoundTrace != nil {
-				w.s.opt.BoundTrace(c.entry.ObjID, knnl, knnu)
+			if c.entry.IsObject() && w.trace != nil {
+				w.trace(c.entry.ObjID, knnl, knnu)
 			}
 			return verdictReported, nil
 		}

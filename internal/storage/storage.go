@@ -88,6 +88,7 @@ type Tracker struct {
 	cacheHits    atomic.Int64
 	writes       atomic.Int64
 	pagesWritten atomic.Int64
+	sharedReads  atomic.Int64
 }
 
 // ChargeRead records one read transferring the given number of pages.
@@ -116,6 +117,30 @@ func (t *Tracker) ChargeCacheHit() {
 		return
 	}
 	t.cacheHits.Add(1)
+}
+
+// ChargeSharedRead records one logical node read served by a physical
+// read another consumer already paid for — the attribution used by
+// shared-traversal batch execution, where one fetched node is scored
+// against many queries. The physical I/O (ChargeRead/ChargeCacheHit) is
+// charged exactly once, to the batch-level tracker; every query that
+// consumes the node records one shared read here on its own tracker.
+// Shared reads deliberately stay out of Stats: they are attribution
+// bookkeeping, not additional I/O.
+func (t *Tracker) ChargeSharedRead() {
+	if t == nil {
+		return
+	}
+	t.sharedReads.Add(1)
+}
+
+// SharedReads returns the logical reads served by batch-shared physical
+// reads (see ChargeSharedRead).
+func (t *Tracker) SharedReads() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.sharedReads.Load()
 }
 
 // Reads returns the number of reads that missed every cache.
@@ -182,6 +207,7 @@ func (t *Tracker) Reset() {
 	t.cacheHits.Store(0)
 	t.writes.Store(0)
 	t.pagesWritten.Store(0)
+	t.sharedReads.Store(0)
 }
 
 // counters are the store-global I/O totals, atomics so concurrent readers

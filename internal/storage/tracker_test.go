@@ -68,6 +68,33 @@ func TestTrackerCountsPoolHits(t *testing.T) {
 	}
 }
 
+// TestTrackerSharedReads pins the batch-attribution counter: shared
+// reads are bookkeeping on the side (a query's logical reads served from
+// a batch-shared node), never part of the I/O Stats, and Reset clears
+// them with everything else.
+func TestTrackerSharedReads(t *testing.T) {
+	var nilTr *Tracker
+	nilTr.ChargeSharedRead()
+	if nilTr.SharedReads() != 0 {
+		t.Error("nil tracker must report zero shared reads")
+	}
+
+	var tr Tracker
+	tr.ChargeRead(2)
+	tr.ChargeSharedRead()
+	tr.ChargeSharedRead()
+	if tr.SharedReads() != 2 {
+		t.Errorf("SharedReads = %d, want 2", tr.SharedReads())
+	}
+	if s := tr.Stats(); s.Reads != 1 || s.PagesRead != 2 {
+		t.Errorf("Stats = %+v; shared reads must not leak into I/O stats", s)
+	}
+	tr.Reset()
+	if tr.SharedReads() != 0 {
+		t.Errorf("SharedReads = %d after Reset, want 0", tr.SharedReads())
+	}
+}
+
 func TestPoolSharding(t *testing.T) {
 	// Tiny pools stay single-sharded (exact LRU); big pools shard up to
 	// the cap, and the per-shard budgets sum to the requested capacity.

@@ -102,6 +102,17 @@ type Options struct {
 	// through BatchQuery multiply this with the batch parallelism, so
 	// consider Workers=1 for batch-heavy serving.
 	Workers int
+	// SharedBatch controls how BatchQuery answers multi-request batches.
+	// 0 (the default) and positive values share one branch-and-bound
+	// traversal across the whole batch: each tree node is physically
+	// read at most once per batch and scored against every query still
+	// active on it, so nodes-read-per-query shrinks as the batch grows
+	// while per-query results and QueryStats counters stay bit-identical
+	// to independent execution. A negative value forces the independent
+	// per-query fan-out (the DESIGN.md §11 ablation, exposed as
+	// -sharedbatch=false in rstknn-bench). Single-request batches always
+	// run independently — there is nothing to share.
+	SharedBatch int
 	// Seed fixes clustering randomness.
 	Seed int64
 }

@@ -32,16 +32,35 @@ type Result struct {
 // deltas of store-global counters — so they are exact even when many
 // queries run concurrently.
 type QueryStats struct {
-	Duration      time.Duration
-	NodesRead     int
-	PageAccesses  int64
-	CacheHits     int64
+	// Duration is the query's wall time. For queries answered by a
+	// shared batch traversal it is the whole batch's wall time — the
+	// per-query share of a fused traversal is not separable.
+	Duration     time.Duration
+	NodesRead    int
+	PageAccesses int64
+	CacheHits    int64
+	// SharedReads counts the node reads served by a shared batch
+	// traversal's once-per-batch physical fetch (always 0 outside
+	// BatchQuery's shared mode; equal to NodesRead inside it). The
+	// physical I/O those reads amortize is reported on BatchStats, not
+	// here — see the tracker attribution rule in DESIGN.md §11.
+	SharedReads   int64
 	ExactSims     int64
 	BoundEvals    int64
 	GroupPruned   int
 	GroupReported int
 	Candidates    int
 	Refinements   int
+}
+
+// CacheHitRatio returns the fraction of this query's node reads that
+// paid no simulated page I/O — buffer-pool/node-cache hits plus
+// batch-shared reads over all reads — or 0 when the query read nothing.
+func (s QueryStats) CacheHitRatio() float64 {
+	if s.NodesRead == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.SharedReads) / float64(s.NodesRead)
 }
 
 // validateQuery rejects the inputs that would otherwise give undefined
@@ -233,12 +252,64 @@ type BatchResult struct {
 	Err    error
 }
 
-// BatchQuery answers many reverse queries over a worker pool sharing
-// this engine. parallelism caps the number of concurrent workers; values
-// <= 0 default to runtime.GOMAXPROCS(0). Results are returned in request
-// order, each with its own per-query QueryStats. The whole batch runs
-// against one pinned snapshot: concurrent Insert/Delete/Apply calls do
-// not affect it, and every request sees the same index version.
+// BatchStats describes one BatchQuery invocation as a whole: the
+// batch-level amortization numbers that per-request QueryStats cannot
+// express once one physical node read serves many queries.
+type BatchStats struct {
+	// Requests is the batch size, Shared whether the shared-traversal
+	// path answered it (see Options.SharedBatch).
+	Requests int
+	Shared   bool
+	// Duration is the whole batch's wall time.
+	Duration time.Duration
+	// NodesRead counts physical node fetches: each distinct node once in
+	// shared mode, the sum of per-query NodesRead in independent mode —
+	// so shared-vs-ablation runs compare directly on this field.
+	NodesRead int
+	// SharedHits counts per-query logical reads served by a node the
+	// batch had already fetched (0 in independent mode): the sum of
+	// per-query NodesRead minus the physical NodesRead above.
+	SharedHits int
+	// NodesReadPerQuery is NodesRead divided by the number of requests —
+	// the amortized I/O the shared traversal optimizes.
+	NodesReadPerQuery float64
+	// PageAccesses is the simulated page I/O the physical reads paid.
+	PageAccesses int64
+}
+
+// batchParallelism resolves the caller's parallelism request for a batch
+// of n requests: values <= 0 default to runtime.GOMAXPROCS(0) (matching
+// the single-query Workers option), and the result is clamped to n so a
+// small batch never spawns goroutines with no request to serve.
+func batchParallelism(p, n int) int {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// BatchQuery answers many reverse queries against one pinned snapshot:
+// concurrent Insert/Delete/Apply calls do not affect the batch, and
+// every request sees the same index version. Results are returned in
+// request order, each with its own per-query QueryStats.
+//
+// With Options.SharedBatch enabled (the default), a multi-request batch
+// runs as ONE shared branch-and-bound traversal: each tree node is
+// physically read at most once per batch and scored against every query
+// still active on it, so I/O per query shrinks as the batch grows while
+// per-request results and QueryStats counters stay bit-identical to
+// independent execution. parallelism then bounds the traversal's worker
+// pool (values <= 0 default to runtime.GOMAXPROCS(0), values above it
+// are clamped). With SharedBatch negative — or for single-request
+// batches — requests fan out independently over a worker pool of
+// min(parallelism, len(reqs)) goroutines, with <= 0 again defaulting to
+// GOMAXPROCS.
 func (e *Engine) BatchQuery(reqs []QueryRequest, parallelism int) []BatchResult {
 	return e.BatchQueryCtx(context.Background(), reqs, parallelism)
 }
@@ -247,18 +318,117 @@ func (e *Engine) BatchQuery(reqs []QueryRequest, parallelism int) []BatchResult 
 // done, not-yet-started requests fail fast with ctx.Err() and running
 // ones abort at their next node read.
 func (e *Engine) BatchQueryCtx(ctx context.Context, reqs []QueryRequest, parallelism int) []BatchResult {
+	out, _ := e.BatchQueryStatsCtx(ctx, reqs, parallelism)
+	return out
+}
+
+// BatchQueryStatsCtx is BatchQueryCtx plus the batch-level BatchStats:
+// the physical node reads, the shared-read amortization, and the
+// per-query average that per-request QueryStats cannot express.
+func (e *Engine) BatchQueryStatsCtx(ctx context.Context, reqs []QueryRequest, parallelism int) ([]BatchResult, BatchStats) {
 	out := make([]BatchResult, len(reqs))
 	if len(reqs) == 0 {
-		return out
-	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(reqs) {
-		parallelism = len(reqs)
+		return out, BatchStats{}
 	}
 	st, release := e.pin()
 	defer release()
+	start := time.Now()
+	var bs BatchStats
+	if e.opt.SharedBatch >= 0 && len(reqs) > 1 {
+		bs = e.batchShared(ctx, st, reqs, parallelism, out)
+	} else {
+		bs = e.batchIndependent(ctx, st, reqs, parallelism, out)
+	}
+	bs.Requests = len(reqs)
+	bs.Duration = time.Since(start)
+	bs.NodesReadPerQuery = float64(bs.NodesRead) / float64(len(reqs))
+	return out, bs
+}
+
+// batchShared answers the batch with one shared traversal (see
+// core.MultiRSTkNN). Invalid requests fail individually and are excluded
+// from the traversal; a traversal error (cancellation, I/O) fails every
+// participating request.
+func (e *Engine) batchShared(ctx context.Context, st *engineState, reqs []QueryRequest, parallelism int, out []BatchResult) BatchStats {
+	bs := BatchStats{Shared: true}
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			out[i] = BatchResult{Err: err}
+		}
+		return bs
+	}
+	items := make([]core.BatchItem, 0, len(reqs))
+	idxs := make([]int, 0, len(reqs))
+	trackers := make([]storage.Tracker, len(reqs))
+	for i, r := range reqs {
+		if err := validateQuery(r.X, r.Y, r.K); err != nil {
+			out[i] = BatchResult{Err: err}
+			continue
+		}
+		items = append(items, core.BatchItem{
+			Query:   core.Query{Loc: geom.Point{X: r.X, Y: r.Y}, Doc: e.vectorize(r.Text)},
+			K:       r.K,
+			Tracker: &trackers[i],
+		})
+		idxs = append(idxs, i)
+	}
+	if len(items) == 0 {
+		return bs
+	}
+	strategy := core.RefineByMaxUpper
+	if e.opt.EntropyRefinement {
+		strategy = core.RefineByEntropy
+	}
+	// batchTracker is the batch's execution context: the once-per-node
+	// physical I/O of the whole traversal — and only it — lands here.
+	var batchTracker storage.Tracker
+	start := time.Now()
+	mo, err := core.MultiRSTkNN(st.tree, items, core.Options{
+		Alpha:       e.opt.Alpha,
+		Sim:         e.measure,
+		Strategy:    strategy,
+		GroupRefine: e.opt.GroupRefine,
+		Workers:     parallelism,
+		Ctx:         ctx,
+		Tracker:     &batchTracker,
+	})
+	if err != nil {
+		for _, i := range idxs {
+			out[i] = BatchResult{Err: err}
+		}
+		return bs
+	}
+	elapsed := time.Since(start)
+	for j, i := range idxs {
+		o := mo.Outcomes[j]
+		out[i] = BatchResult{Result: &Result{
+			IDs: o.Results,
+			Stats: QueryStats{
+				Duration:      elapsed,
+				NodesRead:     o.Metrics.NodesRead,
+				PageAccesses:  trackers[i].PagesRead(),
+				CacheHits:     trackers[i].CacheHits(),
+				SharedReads:   trackers[i].SharedReads(),
+				ExactSims:     o.Metrics.ExactSims,
+				BoundEvals:    o.Metrics.BoundEvals,
+				GroupPruned:   o.Metrics.GroupPruned,
+				GroupReported: o.Metrics.GroupReported,
+				Candidates:    o.Metrics.Candidates,
+				Refinements:   o.Metrics.Refinements,
+			},
+		}}
+	}
+	bs.NodesRead = mo.Batch.NodesRead
+	bs.SharedHits = mo.Batch.SharedHits
+	bs.PageAccesses = batchTracker.PagesRead()
+	return bs
+}
+
+// batchIndependent fans the requests over a worker pool, one standalone
+// query each — the pre-shared-traversal behavior, kept as the
+// SharedBatch ablation and the single-request path.
+func (e *Engine) batchIndependent(ctx context.Context, st *engineState, reqs []QueryRequest, parallelism int, out []BatchResult) BatchStats {
+	parallelism = batchParallelism(parallelism, len(reqs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
@@ -285,7 +455,14 @@ func (e *Engine) BatchQueryCtx(ctx context.Context, reqs []QueryRequest, paralle
 		}()
 	}
 	wg.Wait()
-	return out
+	bs := BatchStats{}
+	for i := range out {
+		if out[i].Result != nil {
+			bs.NodesRead += out[i].Result.Stats.NodesRead
+			bs.PageAccesses += out[i].Result.Stats.PageAccesses
+		}
+	}
+	return bs
 }
 
 // NaiveQuery answers the same reverse query by exhaustive scan — the
